@@ -1,0 +1,360 @@
+//! Memcached-like key-value store (§5.2, Figure 10).
+//!
+//! The paper ports Memcached v1.6.21 onto Adios, replacing its
+//! dispatcher/worker with Adios' and `mmap`ing its slabs into remote
+//! memory. Here the equivalent store is a hash index over fixed-layout
+//! items in a [`PagedArena`]:
+//!
+//! ```text
+//! item: [ key_hash u64 | key_len u32 | val_len u32 | key bytes | value bytes ]
+//! ```
+//!
+//! Keys are 50 bytes and values 128 B or 1024 B as in the paper's two
+//! workloads. A GET probes the index, verifies the key bytes and
+//! streams the value — two to three page touches over a multi-GB
+//! working set, which is exactly the paper's Memcached fault profile.
+
+use desim::Rng;
+use paging::trace::{CostModel, Trace};
+use paging::{PagedArena, TraceRecorder};
+use runtime::Workload;
+
+use crate::hashidx::HashIndex;
+
+/// Key size used by the paper's Memcached workloads.
+pub const KEY_BYTES: usize = 50;
+
+const ITEM_HEADER: u64 = 16;
+
+/// A Memcached-like store in arena memory.
+///
+/// # Examples
+///
+/// ```
+/// use apps::Kvs;
+/// use paging::TraceRecorder;
+///
+/// let kvs = Kvs::build(1_000, 128);
+/// let mut rec = TraceRecorder::default();
+/// let value = kvs.get(42, &mut rec).unwrap();
+/// assert_eq!(value, Kvs::value_for(42, 128));
+/// let trace = rec.finish(0, 64, 144);
+/// assert!(trace.accesses() >= 2); // index probe + item pages
+/// ```
+pub struct Kvs {
+    arena: PagedArena,
+    index: HashIndex,
+    num_keys: u64,
+    value_len: u32,
+}
+
+fn key_bytes(key_id: u64) -> [u8; KEY_BYTES] {
+    let mut k = [b'k'; KEY_BYTES];
+    k[..20].copy_from_slice(format!("{key_id:020}").as_bytes());
+    k
+}
+
+fn key_hash(key: &[u8]) -> u64 {
+    // FNV-1a: what memcached-style stores actually compute per GET.
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h | 1 // avoid the index sentinel
+}
+
+impl Kvs {
+    /// Builds and populates a store with `num_keys` keys of
+    /// `value_len`-byte values (values are a deterministic fill).
+    pub fn build(num_keys: u64, value_len: u32) -> Kvs {
+        let item_bytes = ITEM_HEADER + KEY_BYTES as u64 + value_len as u64;
+        let index_bytes = (num_keys as f64 / 0.7 * 16.0) as u64 * 2;
+        let capacity = num_keys * (item_bytes + 8) + index_bytes + (8 << 20);
+        let mut arena = PagedArena::new(capacity);
+        let index = HashIndex::build(&mut arena, num_keys);
+        let mut kvs = Kvs {
+            arena,
+            index,
+            num_keys,
+            value_len,
+        };
+        for id in 0..num_keys {
+            kvs.load_item(id);
+        }
+        kvs
+    }
+
+    fn load_item(&mut self, key_id: u64) {
+        let key = key_bytes(key_id);
+        let h = key_hash(&key);
+        let len = ITEM_HEADER + KEY_BYTES as u64 + self.value_len as u64;
+        let addr = self.arena.alloc(len, 8);
+        self.arena.poke_u64(addr, h);
+        let meta = ((KEY_BYTES as u64) << 32) | self.value_len as u64;
+        self.arena.poke_u64(addr + 8, meta);
+        self.arena.poke_bytes(addr + ITEM_HEADER, &key);
+        let value = Self::value_for(key_id, self.value_len);
+        self.arena
+            .poke_bytes(addr + ITEM_HEADER + KEY_BYTES as u64, &value);
+        self.index.insert_untraced(&mut self.arena, h, addr);
+    }
+
+    /// The deterministic value stored for `key_id`.
+    pub fn value_for(key_id: u64, value_len: u32) -> Vec<u8> {
+        (0..value_len)
+            .map(|i| (key_id as u8).wrapping_add(i as u8))
+            .collect()
+    }
+
+    /// Number of keys loaded.
+    pub fn num_keys(&self) -> u64 {
+        self.num_keys
+    }
+
+    /// Total pages of the working set.
+    pub fn total_pages(&self) -> u64 {
+        self.arena.total_pages()
+    }
+
+    /// SET by key id: overwrites the stored value in place (values are
+    /// fixed-size, as in memcached slab classes), recording every page
+    /// touch as a write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not exactly the store's value size or the
+    /// key was never loaded.
+    pub fn set(&mut self, key_id: u64, value: &[u8], rec: &mut TraceRecorder) {
+        assert_eq!(value.len(), self.value_len as usize, "slab value size");
+        let key = key_bytes(key_id);
+        rec.compute_ns(350.0);
+        let h = key_hash(&key);
+        let addr = self
+            .index
+            .get(&self.arena, h, rec)
+            .expect("SET of unloaded key");
+        // Verify + LRU bump like GET, then stream the new value in.
+        let _ = self.arena.read_u64(addr, rec);
+        rec.compute_ns(120.0);
+        let key_len = KEY_BYTES as u64;
+        self.arena
+            .write_bytes(addr + ITEM_HEADER + key_len, value, rec);
+    }
+
+    /// GET by key id: returns the value, recording every page touch.
+    ///
+    /// Like real Memcached, a GET is not read-only: it bumps the item's
+    /// LRU recency metadata, dirtying the item's header page. Under
+    /// memory disaggregation those dirty pages must be written back on
+    /// eviction — which is what saturates the RNIC's message rate and
+    /// caps Memcached's throughput in the paper (§5.2: "the NIC could
+    /// not match the host's processing power").
+    pub fn get(&self, key_id: u64, rec: &mut TraceRecorder) -> Option<Vec<u8>> {
+        let key = key_bytes(key_id);
+        // Hashing 50 key bytes + memcached protocol/locking overhead.
+        rec.compute_ns(350.0);
+        let h = key_hash(&key);
+        let addr = self.index.get(&self.arena, h, rec)?;
+        let stored_hash = self.arena.read_u64(addr, rec);
+        if stored_hash != h {
+            return None;
+        }
+        let meta = self.arena.peek_u64(addr + 8);
+        let key_len = meta >> 32;
+        let val_len = meta & 0xFFFF_FFFF;
+        let stored_key = self.arena.read_bytes(addr + ITEM_HEADER, key_len, rec);
+        if stored_key != key {
+            return None;
+        }
+        // Key comparison + LRU bump (a *write* to the item header).
+        rec.compute_ns(120.0);
+        rec.touch(addr / paging::PAGE_SIZE, true);
+        let value = self
+            .arena
+            .read_bytes(addr + ITEM_HEADER + key_len, val_len, rec);
+        Some(value.to_vec())
+    }
+}
+
+/// Class index of GET requests.
+pub const CLASS_GET: u16 = 0;
+/// Class index of SET requests.
+pub const CLASS_SET: u16 = 1;
+
+/// The paper's Memcached workload (Figure 10): uniform-random keys,
+/// one value size per experiment; GET-only by default, with an optional
+/// SET fraction for write-mix studies.
+pub struct MemcachedWorkload {
+    kvs: Kvs,
+    request_bytes: u32,
+    set_fraction: f64,
+    value_len: u32,
+}
+
+impl MemcachedWorkload {
+    /// Creates the GET-only workload over a freshly built store.
+    pub fn new(num_keys: u64, value_len: u32) -> MemcachedWorkload {
+        MemcachedWorkload {
+            kvs: Kvs::build(num_keys, value_len),
+            request_bytes: 24 + KEY_BYTES as u32,
+            set_fraction: 0.0,
+            value_len,
+        }
+    }
+
+    /// Adds a SET fraction to the mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set_fraction` is outside `[0, 1]`.
+    pub fn with_sets(mut self, set_fraction: f64) -> MemcachedWorkload {
+        assert!((0.0..=1.0).contains(&set_fraction));
+        self.set_fraction = set_fraction;
+        self
+    }
+
+    /// Access to the underlying store (for correctness tests).
+    pub fn kvs(&self) -> &Kvs {
+        &self.kvs
+    }
+}
+
+impl Workload for MemcachedWorkload {
+    fn classes(&self) -> &'static [&'static str] {
+        &["GET", "SET"]
+    }
+
+    fn total_pages(&self) -> u64 {
+        self.kvs.total_pages()
+    }
+
+    fn next_request(&mut self, rng: &mut Rng) -> Trace {
+        let key_id = rng.gen_range(self.kvs.num_keys);
+        let mut rec = TraceRecorder::new(CostModel::default());
+        // Request parse (memcached protocol header + key).
+        rec.compute_ns(120.0);
+        if self.set_fraction > 0.0 && rng.gen_bool(self.set_fraction) {
+            let value = Kvs::value_for(rng.next_u64(), self.value_len);
+            self.kvs.set(key_id, &value, &mut rec);
+            rec.compute_ns(60.0);
+            rec.finish(CLASS_SET, self.request_bytes + self.value_len, 16)
+        } else {
+            let value = self.kvs.get(key_id, &mut rec);
+            debug_assert!(value.is_some(), "loaded key must be found");
+            let reply = 16 + value.map(|v| v.len() as u32).unwrap_or(0);
+            // Reply serialization.
+            rec.compute_ns(60.0);
+            rec.finish(CLASS_GET, self.request_bytes, reply)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_returns_stored_values() {
+        let kvs = Kvs::build(2_000, 128);
+        for id in [0u64, 1, 999, 1999] {
+            let mut rec = TraceRecorder::new(CostModel::default());
+            let v = kvs.get(id, &mut rec).expect("present");
+            assert_eq!(v, Kvs::value_for(id, 128));
+        }
+    }
+
+    #[test]
+    fn matches_reference_hashmap() {
+        let kvs = Kvs::build(500, 64);
+        let reference: std::collections::HashMap<u64, Vec<u8>> =
+            (0..500).map(|id| (id, Kvs::value_for(id, 64))).collect();
+        for id in 0..500u64 {
+            let mut rec = TraceRecorder::new(CostModel::default());
+            assert_eq!(kvs.get(id, &mut rec).as_ref(), reference.get(&id));
+        }
+    }
+
+    #[test]
+    fn missing_key_returns_none() {
+        let kvs = Kvs::build(100, 128);
+        let mut rec = TraceRecorder::new(CostModel::default());
+        assert_eq!(kvs.get(100_000, &mut rec), None);
+    }
+
+    #[test]
+    fn get_trace_touches_index_and_item() {
+        let kvs = Kvs::build(50_000, 1024);
+        let mut rec = TraceRecorder::new(CostModel::default());
+        kvs.get(123, &mut rec).unwrap();
+        let t = rec.finish(0, 0, 0);
+        // Index probe page + item pages (header/key/value may straddle).
+        assert!(t.accesses() >= 2, "trace: {:?}", t.steps);
+        assert!(t.accesses() <= 6);
+        assert!(t.compute_ns() > 0);
+    }
+
+    #[test]
+    fn set_overwrites_value() {
+        let mut kvs = Kvs::build(100, 64);
+        let mut rec = TraceRecorder::new(CostModel::default());
+        let new_value = vec![0xEE; 64];
+        kvs.set(42, &new_value, &mut rec);
+        let t = rec.finish(0, 0, 0);
+        assert!(
+            t.steps
+                .iter()
+                .any(|s| matches!(s.access, Some(a) if a.write)),
+            "SET must dirty item pages"
+        );
+        let mut rec2 = TraceRecorder::new(CostModel::default());
+        assert_eq!(kvs.get(42, &mut rec2).unwrap(), new_value);
+        // Other keys untouched.
+        let mut rec3 = TraceRecorder::new(CostModel::default());
+        assert_eq!(kvs.get(41, &mut rec3).unwrap(), Kvs::value_for(41, 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "slab value size")]
+    fn set_wrong_size_panics() {
+        let mut kvs = Kvs::build(10, 64);
+        let mut rec = TraceRecorder::new(CostModel::default());
+        kvs.set(1, &[0u8; 32], &mut rec);
+    }
+
+    #[test]
+    fn mixed_workload_produces_both_classes() {
+        let mut w = MemcachedWorkload::new(5_000, 128).with_sets(0.3);
+        let mut rng = Rng::new(8);
+        let mut sets = 0;
+        for _ in 0..2_000 {
+            let t = w.next_request(&mut rng);
+            if t.class == CLASS_SET {
+                sets += 1;
+                assert!(t.request_bytes > 128, "SET carries the value");
+            }
+        }
+        assert!((450..=750).contains(&sets), "sets = {sets}");
+    }
+
+    #[test]
+    fn workload_produces_valid_traces() {
+        let mut w = MemcachedWorkload::new(10_000, 128);
+        let mut rng = Rng::new(3);
+        for _ in 0..100 {
+            let t = w.next_request(&mut rng);
+            assert_eq!(t.class, 0);
+            assert!(t.reply_bytes >= 16 + 128);
+            assert!(t.accesses() >= 2);
+        }
+    }
+
+    #[test]
+    fn value_sizes_match_paper_workloads() {
+        for vs in [128u32, 1024] {
+            let kvs = Kvs::build(100, vs);
+            let mut rec = TraceRecorder::new(CostModel::default());
+            assert_eq!(kvs.get(5, &mut rec).unwrap().len(), vs as usize);
+        }
+    }
+}

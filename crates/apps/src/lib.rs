@@ -1,0 +1,31 @@
+//! Real application substrates for the Adios reproduction (Table 2).
+//!
+//! Each of the paper's four applications is implemented as a real data
+//! structure living in a [`paging::PagedArena`]: lookups, scans,
+//! transactions and vector searches execute against real bytes (the
+//! correctness tests compare them with reference implementations), and
+//! every memory access records the exact page-touch trace the simulator
+//! replays.
+//!
+//! | Paper app | Here | Workload |
+//! |-----------|------|----------|
+//! | Memcached | [`kvs`] — chained-hash KVS | GET, 128 B / 1024 B values |
+//! | RocksDB (PlainTable, mmap) | [`ordb`] — sorted log + sparse index | 99 % GET / 1 % SCAN(100) |
+//! | Silo (Caladan variant) | [`silo`] — epoch OCC engine | TPC-C, standard mix |
+//! | Faiss (IndexIVFFlat) | [`vecdb`] — IVF-Flat index | BIGANN-style kNN queries |
+//!
+//! Datasets are synthetically generated and scaled down from the
+//! paper's (40 GB / 20 GB / 48 GB) footprints; the local-memory *ratio*
+//! (20 %) and the access-pattern shapes are preserved, which is what
+//! drives memory-disaggregation behaviour (see `DESIGN.md` §2).
+
+pub mod hashidx;
+pub mod kvs;
+pub mod ordb;
+pub mod silo;
+pub mod vecdb;
+
+pub use kvs::{Kvs, MemcachedWorkload};
+pub use ordb::{OrderedDb, RocksDbWorkload};
+pub use silo::{SiloDb, TpccWorkload};
+pub use vecdb::{FaissWorkload, IvfFlat};

@@ -1,0 +1,355 @@
+//! RocksDB-like ordered store (§5.2, Figure 11).
+//!
+//! The paper runs RocksDB v8.3.2 with the PlainTable format in `mmap`
+//! mode, "which makes RocksDB read data from remote memory through load
+//! instructions and paging". PlainTable is a flat, fully in-memory
+//! format: records in key order plus a lightweight index. This module
+//! reproduces that shape:
+//!
+//! - a **sorted record log** of fixed-size `(key u64, value)` records;
+//! - a **sparse index** with one `(first_key, rank)` entry per
+//!   `GROUP`-record block, binary-searched on lookup (its upper levels
+//!   are touched by every request and therefore stay cached, exactly
+//!   like PlainTable's in-memory index under CLOCK);
+//! - `GET` = sparse-index search + in-block binary search over direct
+//!   offsets;
+//! - `SCAN(n)` = `GET`-style positioning + a forward sweep over `n`
+//!   records — sequential page touches that the readahead prefetcher
+//!   detects (this is the long bimodal-tail request of Figure 11).
+
+use desim::Rng;
+use paging::trace::{CostModel, Trace};
+use paging::{PagedArena, TraceRecorder};
+use runtime::Workload;
+
+use crate::hashidx::HashIndex;
+
+/// Records per sparse-index block.
+const GROUP: u64 = 16;
+
+/// An ordered store over arena memory.
+///
+/// # Examples
+///
+/// ```
+/// use apps::OrderedDb;
+/// use paging::TraceRecorder;
+///
+/// let db = OrderedDb::build(1_000, 32);
+/// let mut rec = TraceRecorder::default();
+/// let start = OrderedDb::key_of_rank(10);
+/// let rows = db.scan(start, 5, &mut rec);
+/// assert_eq!(rows.len(), 5);
+/// assert!(rows.windows(2).all(|w| w[0].0 < w[1].0), "key order");
+/// ```
+pub struct OrderedDb {
+    arena: PagedArena,
+    /// PlainTable's point-lookup hash index: key → rank.
+    hash_index: HashIndex,
+    index_base: u64,
+    index_entries: u64,
+    data_base: u64,
+    num_keys: u64,
+    record_bytes: u64,
+    value_len: u32,
+}
+
+impl OrderedDb {
+    /// Builds a store with `num_keys` sorted keys and `value_len`-byte
+    /// values.
+    pub fn build(num_keys: u64, value_len: u32) -> OrderedDb {
+        let record_bytes = 8 + value_len as u64;
+        let index_entries = num_keys.div_ceil(GROUP);
+        let capacity = num_keys * record_bytes
+            + index_entries * 16
+            + (num_keys as f64 / 0.7 * 16.0) as u64 * 2
+            + (8 << 20);
+        let mut arena = PagedArena::new(capacity);
+        let hash_index = HashIndex::build(&mut arena, num_keys);
+        let index_base = arena.alloc(index_entries * 16, paging::PAGE_SIZE);
+        let data_base = arena.alloc(num_keys * record_bytes, paging::PAGE_SIZE);
+        let mut db = OrderedDb {
+            arena,
+            hash_index,
+            index_base,
+            index_entries,
+            data_base,
+            num_keys,
+            record_bytes,
+            value_len,
+        };
+        for rank in 0..num_keys {
+            let key = Self::key_of_rank(rank);
+            let addr = db.record_addr(rank);
+            db.arena.poke_u64(addr, key);
+            let value = Self::value_for(key, value_len);
+            db.arena.poke_bytes(addr + 8, &value);
+            db.hash_index.insert_untraced(&mut db.arena, key, rank);
+            if rank % GROUP == 0 {
+                let e = db.index_base + (rank / GROUP) * 16;
+                db.arena.poke_u64(e, key);
+                db.arena.poke_u64(e + 8, rank);
+            }
+        }
+        db
+    }
+
+    /// The deterministic sorted key at `rank` (strided with jitter so
+    /// keys are non-contiguous yet ordered, like hashed user keys).
+    pub fn key_of_rank(rank: u64) -> u64 {
+        rank * 1000 + (rank.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 54)
+    }
+
+    /// The deterministic value stored under `key`.
+    pub fn value_for(key: u64, value_len: u32) -> Vec<u8> {
+        (0..value_len)
+            .map(|i| (key as u8) ^ (i as u8).wrapping_mul(31))
+            .collect()
+    }
+
+    fn record_addr(&self, rank: u64) -> u64 {
+        self.data_base + rank * self.record_bytes
+    }
+
+    /// Number of keys loaded.
+    pub fn num_keys(&self) -> u64 {
+        self.num_keys
+    }
+
+    /// Total pages of the working set.
+    pub fn total_pages(&self) -> u64 {
+        self.arena.total_pages()
+    }
+
+    /// Finds the rank of the first record with key ≥ `key` (recording
+    /// all index and record touches).
+    fn lower_bound(&self, key: u64, rec: &mut TraceRecorder) -> u64 {
+        // Binary search the sparse index.
+        let (mut lo, mut hi) = (0u64, self.index_entries);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            rec.compute_ns(4.0);
+            let k = self.arena.read_u64(self.index_base + mid * 16, rec);
+            if k <= key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let block = lo.saturating_sub(1);
+        let start = block * GROUP;
+        let end = (start + GROUP).min(self.num_keys);
+        // Binary search within the block over direct offsets.
+        let (mut lo, mut hi) = (start, end);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            rec.compute_ns(4.0);
+            let k = self.arena.read_u64(self.record_addr(mid), rec);
+            if k < key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Point lookup through PlainTable's hash index (GETs never walk
+    /// the sorted index; that is the SCAN positioning path).
+    pub fn get(&self, key: u64, rec: &mut TraceRecorder) -> Option<Vec<u8>> {
+        rec.compute_ns(40.0); // key hash + bucket arithmetic
+        let rank = self.hash_index.get(&self.arena, key, rec)?;
+        let addr = self.record_addr(rank);
+        let k = self.arena.read_u64(addr, rec);
+        if k != key {
+            return None;
+        }
+        let v = self.arena.read_bytes(addr + 8, self.value_len as u64, rec);
+        Some(v.to_vec())
+    }
+
+    /// Iterates `n` records starting at the first key ≥ `start_key`,
+    /// returning `(key, value-checksum)` pairs (the paper's SCAN(100)
+    /// reads the values referenced by a series of keys).
+    pub fn scan(&self, start_key: u64, n: usize, rec: &mut TraceRecorder) -> Vec<(u64, u8)> {
+        let mut rank = self.lower_bound(start_key, rec);
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n && rank < self.num_keys {
+            let addr = self.record_addr(rank);
+            let k = self.arena.read_u64(addr, rec);
+            let v = self.arena.read_bytes(addr + 8, self.value_len as u64, rec);
+            // Iterator + value materialisation cost per record.
+            rec.compute_ns(30.0);
+            let checksum = v.iter().fold(0u8, |a, &b| a.wrapping_add(b));
+            out.push((k, checksum));
+            rank += 1;
+        }
+        out
+    }
+}
+
+/// The paper's RocksDB workload: 99 % GET / 1 % SCAN(100), 1024 B
+/// values (Figure 11's bimodal, high-dispersion service times).
+pub struct RocksDbWorkload {
+    db: OrderedDb,
+    scan_fraction: f64,
+    scan_len: usize,
+}
+
+impl RocksDbWorkload {
+    /// Creates the 99/1 GET/SCAN(100) mix over a fresh store.
+    pub fn new(num_keys: u64, value_len: u32) -> RocksDbWorkload {
+        RocksDbWorkload {
+            db: OrderedDb::build(num_keys, value_len),
+            scan_fraction: 0.01,
+            scan_len: 100,
+        }
+    }
+
+    /// Overrides the mix (used by ablations).
+    pub fn with_mix(mut self, scan_fraction: f64, scan_len: usize) -> RocksDbWorkload {
+        self.scan_fraction = scan_fraction;
+        self.scan_len = scan_len;
+        self
+    }
+
+    /// Access to the underlying store.
+    pub fn db(&self) -> &OrderedDb {
+        &self.db
+    }
+}
+
+/// Class index of GET requests.
+pub const CLASS_GET: u16 = 0;
+/// Class index of SCAN requests.
+pub const CLASS_SCAN: u16 = 1;
+
+impl Workload for RocksDbWorkload {
+    fn classes(&self) -> &'static [&'static str] {
+        &["GET", "SCAN"]
+    }
+
+    fn total_pages(&self) -> u64 {
+        self.db.total_pages()
+    }
+
+    fn next_request(&mut self, rng: &mut Rng) -> Trace {
+        let mut rec = TraceRecorder::new(CostModel::default());
+        rec.compute_ns(120.0); // request parse
+        let rank = rng.gen_range(self.db.num_keys());
+        let key = OrderedDb::key_of_rank(rank);
+        if rng.gen_bool(self.scan_fraction) {
+            let rows = self.db.scan(key, self.scan_len, &mut rec);
+            debug_assert!(!rows.is_empty());
+            rec.compute_ns(80.0); // reply with the series summary
+            rec.finish(CLASS_SCAN, 64, 16 + 9 * rows.len() as u32)
+        } else {
+            let v = self.db.get(key, &mut rec);
+            debug_assert!(v.is_some());
+            rec.compute_ns(60.0);
+            rec.finish(CLASS_GET, 64, 16 + v.map(|v| v.len() as u32).unwrap_or(0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recorder() -> TraceRecorder {
+        TraceRecorder::new(CostModel::default())
+    }
+
+    #[test]
+    fn get_every_key() {
+        let db = OrderedDb::build(3_000, 64);
+        for rank in [0u64, 1, 1500, 2998, 2999] {
+            let key = OrderedDb::key_of_rank(rank);
+            let mut rec = recorder();
+            let v = db.get(key, &mut rec).expect("present");
+            assert_eq!(v, OrderedDb::value_for(key, 64));
+        }
+    }
+
+    #[test]
+    fn get_missing_keys() {
+        let db = OrderedDb::build(1_000, 64);
+        let mut rec = recorder();
+        assert_eq!(db.get(OrderedDb::key_of_rank(0) + 1, &mut rec), None);
+        assert_eq!(db.get(u64::MAX, &mut rec), None);
+    }
+
+    #[test]
+    fn scan_matches_btreemap_reference() {
+        let n = 2_000u64;
+        let db = OrderedDb::build(n, 32);
+        let reference: std::collections::BTreeMap<u64, u8> = (0..n)
+            .map(|r| {
+                let k = OrderedDb::key_of_rank(r);
+                let v = OrderedDb::value_for(k, 32);
+                (k, v.iter().fold(0u8, |a, &b| a.wrapping_add(b)))
+            })
+            .collect();
+        let mut rng = Rng::new(9);
+        for _ in 0..50 {
+            let start = rng.gen_range(n * 1000);
+            let mut rec = recorder();
+            let got = db.scan(start, 10, &mut rec);
+            let want: Vec<(u64, u8)> = reference
+                .range(start..)
+                .take(10)
+                .map(|(&k, &v)| (k, v))
+                .collect();
+            assert_eq!(got, want, "scan from {start}");
+        }
+    }
+
+    #[test]
+    fn scan_trace_is_sequential() {
+        let db = OrderedDb::build(100_000, 1024);
+        let mut rec = recorder();
+        db.scan(OrderedDb::key_of_rank(50_000), 100, &mut rec);
+        let t = rec.finish(CLASS_SCAN, 0, 0);
+        // 100 records × 1032 B ≈ 25 pages, walked in order.
+        let pages: Vec<u64> = t
+            .steps
+            .iter()
+            .filter_map(|s| s.access.map(|a| a.page))
+            .collect();
+        let data_pages = &pages[pages.len().saturating_sub(20)..];
+        assert!(
+            data_pages.windows(2).all(|w| w[1] == w[0] + 1),
+            "data sweep must be sequential: {data_pages:?}"
+        );
+        assert!(t.accesses() > 20);
+    }
+
+    #[test]
+    fn scan_is_much_heavier_than_get() {
+        // §5.2: SCAN(100) service is 25–100× a GET's.
+        let db = OrderedDb::build(100_000, 1024);
+        let mut rec_g = recorder();
+        db.get(OrderedDb::key_of_rank(123), &mut rec_g);
+        let get = rec_g.finish(0, 0, 0);
+        let mut rec_s = recorder();
+        db.scan(OrderedDb::key_of_rank(123), 100, &mut rec_s);
+        let scan = rec_s.finish(1, 0, 0);
+        assert!(scan.compute_ns() > get.compute_ns() * 10);
+        assert!(scan.accesses() > get.accesses() * 3);
+    }
+
+    #[test]
+    fn workload_mix_ratio() {
+        let mut w = RocksDbWorkload::new(10_000, 128);
+        let mut rng = Rng::new(5);
+        let mut scans = 0;
+        for _ in 0..5_000 {
+            let t = w.next_request(&mut rng);
+            if t.class == CLASS_SCAN {
+                scans += 1;
+            }
+        }
+        // 1 % ± noise.
+        assert!((20..=90).contains(&scans), "scans = {scans}");
+    }
+}

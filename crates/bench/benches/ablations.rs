@@ -1,0 +1,5 @@
+//! Regenerates the design-choice ablations (DESIGN.md §6).
+
+fn main() {
+    bench::harness_multi("ablations", adios_core::experiments::ablations::run);
+}

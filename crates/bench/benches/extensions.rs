@@ -1,0 +1,6 @@
+//! Regenerates the extension studies (Infiniswap, huge pages, Leap,
+//! work stealing, burst tolerance, scalability).
+
+fn main() {
+    bench::harness_multi("extensions", adios_core::experiments::extensions::run);
+}

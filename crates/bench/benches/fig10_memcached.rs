@@ -1,0 +1,8 @@
+//! Regenerates fig10 memcached (see `adios_core::experiments`).
+
+fn main() {
+    bench::harness(
+        "fig10_memcached",
+        adios_core::experiments::fig10_memcached::run,
+    );
+}

@@ -1,0 +1,5 @@
+//! Regenerates fig11 rocksdb (see `adios_core::experiments`).
+
+fn main() {
+    bench::harness("fig11_rocksdb", adios_core::experiments::fig11_rocksdb::run);
+}

@@ -1,0 +1,5 @@
+//! Regenerates fig12 silo (see `adios_core::experiments`).
+
+fn main() {
+    bench::harness("fig12_silo", adios_core::experiments::fig12_silo::run);
+}

@@ -1,0 +1,5 @@
+//! Regenerates fig13 faiss (see `adios_core::experiments`).
+
+fn main() {
+    bench::harness("fig13_faiss", adios_core::experiments::fig13_faiss::run);
+}

@@ -1,0 +1,8 @@
+//! Regenerates fig2 motivation (see `adios_core::experiments`).
+
+fn main() {
+    bench::harness(
+        "fig2_motivation",
+        adios_core::experiments::fig2_motivation::run,
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates fig7 microbench (see `adios_core::experiments`).
+
+fn main() {
+    bench::harness(
+        "fig7_microbench",
+        adios_core::experiments::fig7_microbench::run,
+    );
+}

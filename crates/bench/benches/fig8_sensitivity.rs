@@ -1,0 +1,8 @@
+//! Regenerates fig8 sensitivity (see `adios_core::experiments`).
+
+fn main() {
+    bench::harness(
+        "fig8_sensitivity",
+        adios_core::experiments::fig8_sensitivity::run,
+    );
+}

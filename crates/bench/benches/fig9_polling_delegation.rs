@@ -1,0 +1,8 @@
+//! Regenerates fig9 polling delegation (see `adios_core::experiments`).
+
+fn main() {
+    bench::harness(
+        "fig9_polling_delegation",
+        adios_core::experiments::fig9_polling::run,
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates table1 ctxswitch (see `adios_core::experiments`).
+
+fn main() {
+    bench::harness(
+        "table1_ctxswitch",
+        adios_core::experiments::table1_ctxswitch::run,
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates table2 workloads (see `adios_core::experiments`).
+
+fn main() {
+    bench::harness(
+        "table2_workloads",
+        adios_core::experiments::table2_workloads::run,
+    );
+}

@@ -1,0 +1,47 @@
+//! Benchmark harnesses that regenerate every table and figure of the
+//! paper.
+//!
+//! Each `benches/figN_*.rs` target runs the corresponding experiment
+//! from [`adios_core::experiments`] and prints the measured series plus
+//! paper-vs-measured expectation rows. By default the quick scale is
+//! used; set `ADIOS_FULL=1` for the scale recorded in `EXPERIMENTS.md`.
+//!
+//! `cargo run -p bench --bin experiments-md --release` regenerates
+//! `EXPERIMENTS.md` from a complete run.
+
+use adios_core::{FigureReport, Scale};
+
+/// Runs one experiment harness: prints the report and exits non-zero if
+/// a checked expectation missed (so `cargo bench` fails loudly on a
+/// shape regression).
+pub fn harness(name: &str, run: impl FnOnce(Scale) -> FigureReport) {
+    let scale = Scale::from_env();
+    eprintln!("[{name}] running at {scale:?} scale (ADIOS_FULL=1 for full)…");
+    let start = std::time::Instant::now();
+    let report = run(scale);
+    report.print();
+    eprintln!(
+        "[{name}] finished in {:.1} s",
+        start.elapsed().as_secs_f64()
+    );
+    if !report.all_ok() {
+        eprintln!("[{name}] shape expectation MISSED");
+        std::process::exit(1);
+    }
+}
+
+/// Like [`harness`] for experiments returning several reports.
+pub fn harness_multi(name: &str, run: impl FnOnce(Scale) -> Vec<FigureReport>) {
+    let scale = Scale::from_env();
+    eprintln!("[{name}] running at {scale:?} scale…");
+    let reports = run(scale);
+    let mut ok = true;
+    for r in &reports {
+        r.print();
+        ok &= r.all_ok();
+    }
+    if !ok {
+        eprintln!("[{name}] shape expectation MISSED");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,188 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! Every module exposes `run(scale) -> FigureReport`; the `bench` crate
+//! has one bench target per module, and `EXPERIMENTS.md` is the
+//! collected Markdown of all reports at [`Scale::Full`].
+
+pub mod ablations;
+pub mod extensions;
+pub mod fig10_memcached;
+pub mod fig11_rocksdb;
+pub mod fig12_silo;
+pub mod fig13_faiss;
+pub mod fig2_motivation;
+pub mod fig7_microbench;
+pub mod fig8_sensitivity;
+pub mod fig9_polling;
+pub mod table1_ctxswitch;
+pub mod table2_workloads;
+
+use desim::SimDuration;
+use runtime::sim::{RunParams, RunResult, Simulation};
+use runtime::{SystemConfig, Workload};
+
+use crate::report::Series;
+use crate::scale::Scale;
+
+/// Runs one configuration over an offered-load grid, reusing the
+/// workload (datasets build once per sweep).
+pub(crate) fn sweep(
+    cfg: &SystemConfig,
+    workload: &mut dyn Workload,
+    loads: &[f64],
+    warmup: SimDuration,
+    measure: SimDuration,
+    local_mem_fraction: f64,
+    seed: u64,
+) -> Vec<RunResult> {
+    loads
+        .iter()
+        .map(|&offered_rps| {
+            let params = RunParams {
+                offered_rps,
+                seed,
+                warmup,
+                measure,
+                local_mem_fraction,
+                keep_breakdowns: false,
+                burst: None,
+                timeline_bucket: None,
+            };
+            Simulation::new(cfg.clone(), workload, params).run()
+        })
+        .collect()
+}
+
+/// One run with per-request breakdowns retained.
+pub(crate) fn run_with_breakdowns(
+    cfg: &SystemConfig,
+    workload: &mut dyn Workload,
+    offered_rps: f64,
+    scale: Scale,
+    local_mem_fraction: f64,
+    seed: u64,
+) -> RunResult {
+    let params = RunParams {
+        offered_rps,
+        seed,
+        warmup: scale.warmup(),
+        measure: scale.measure(),
+        local_mem_fraction,
+        keep_breakdowns: true,
+        burst: None,
+        timeline_bucket: None,
+    };
+    Simulation::new(cfg.clone(), workload, params).run()
+}
+
+/// Formats a sweep as a [`Series`] of [`loadgen::LoadPoint`] rows.
+pub(crate) fn points_series(label: &str, results: &[RunResult]) -> Series {
+    let mut s = Series::new(label, loadgen::LoadPoint::header());
+    for r in results {
+        s.rows.push(r.point().row());
+    }
+    s
+}
+
+/// Formats per-class P50/P99.9 columns against achieved throughput.
+pub(crate) fn class_series(label: &str, results: &[RunResult], class: u16) -> Series {
+    let mut s = Series::new(label, "  achieved   p50(us)  p999(us)   samples");
+    for r in results {
+        let h = r.recorder.class(class);
+        s.rows.push(format!(
+            "{:>10.0} {:>9.2} {:>9.2} {:>9}",
+            r.recorder.achieved_rps(),
+            h.percentile(50.0) as f64 / 1000.0,
+            h.percentile(99.9) as f64 / 1000.0,
+            h.count(),
+        ));
+    }
+    s
+}
+
+/// Peak achieved throughput across a sweep.
+pub(crate) fn peak_rps(results: &[RunResult]) -> f64 {
+    results
+        .iter()
+        .map(|r| r.recorder.achieved_rps())
+        .fold(0.0, f64::max)
+}
+
+/// Index of the highest load the system still serves without loss
+/// (achieved ≥ 97 % of offered, no drops); falls back to the best
+/// achieved point.
+pub(crate) fn knee_index(results: &[RunResult]) -> usize {
+    let mut knee = 0;
+    for (i, r) in results.iter().enumerate() {
+        if r.recorder.achieved_rps() >= 0.97 * r.offered_rps && r.recorder.dropped() == 0 {
+            knee = i;
+        }
+    }
+    knee
+}
+
+/// The paper's comparison points sit where the baseline's tail *starts*
+/// to skyrocket: the first load whose latency metric reaches 3× its
+/// lightest-load value, clamped between the baseline's knee (so mild
+/// early jitter is not mistaken for the takeoff) and one grid step past
+/// it (so coarse grids do not land in deep overload).
+pub(crate) fn takeoff_index(results: &[RunResult], metric: impl Fn(&RunResult) -> u64) -> usize {
+    let base = metric(&results[0]).max(1);
+    let raw = results
+        .iter()
+        .position(|r| metric(r) >= base * 3)
+        .unwrap_or(results.len() - 1);
+    let knee = knee_index(results);
+    raw.clamp(knee, (knee + 1).min(results.len() - 1))
+}
+
+/// Formats a ratio as the paper does ("1.58x").
+pub(crate) fn fmt_x(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+/// Formats a throughput in MRPS.
+pub(crate) fn fmt_mrps(rps: f64) -> String {
+    format!("{:.2} MRPS", rps / 1e6)
+}
+
+/// Formats nanoseconds as microseconds.
+pub(crate) fn fmt_us(ns: u64) -> String {
+    format!("{:.2} us", ns as f64 / 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use runtime::ArrayIndexWorkload;
+
+    #[test]
+    fn sweep_and_knee_work_end_to_end() {
+        let mut wl = ArrayIndexWorkload::new(8_192);
+        let loads = [200_000.0, 3_000_000.0];
+        let results = sweep(
+            &SystemConfig::dilos(),
+            &mut wl,
+            &loads,
+            SimDuration::from_millis(2),
+            SimDuration::from_millis(8),
+            0.2,
+            1,
+        );
+        assert_eq!(results.len(), 2);
+        // The low point serves its load; the absurd one cannot.
+        assert_eq!(knee_index(&results), 0);
+        assert!(peak_rps(&results) > 200_000.0);
+        let s = points_series("DiLOS", &results);
+        assert_eq!(s.rows.len(), 2);
+        let c = class_series("DiLOS", &results, 0);
+        assert_eq!(c.rows.len(), 2);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_x(1.583), "1.58x");
+        assert_eq!(fmt_mrps(2_500_000.0), "2.50 MRPS");
+        assert_eq!(fmt_us(5_300), "5.30 us");
+    }
+}

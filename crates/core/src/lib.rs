@@ -1,0 +1,53 @@
+//! Adios: yield-based page fault handling for microsecond-scale memory
+//! disaggregation — the public API of the reproduction.
+//!
+//! This crate ties the substrates together and exposes:
+//!
+//! - the four systems under test ([`SystemKind`], [`SystemConfig`]);
+//! - the simulation entry points ([`Simulation`], [`RunParams`]);
+//! - the application workloads (re-exported from [`apps`]);
+//! - one experiment module per table/figure of the paper
+//!   ([`experiments`]), each returning a printable [`FigureReport`]
+//!   with measured series and paper-vs-measured expectation rows.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use adios_core::prelude::*;
+//!
+//! // The paper's microbenchmark at 20 % local memory.
+//! let mut workload = ArrayIndexWorkload::new(16_384);
+//! let params = RunParams {
+//!     offered_rps: 500_000.0,
+//!     ..Default::default()
+//! };
+//! let result = run_one(SystemConfig::adios(), &mut workload, params);
+//! assert!(result.recorder.completed_in_window() > 0);
+//! println!("P99.9 = {} ns", result.recorder.overall().percentile(99.9));
+//! ```
+
+pub mod experiments;
+pub mod report;
+pub mod scale;
+
+pub use report::{Expectation, FigureReport, Series};
+pub use runtime::sim::{run_one, RunParams, RunResult};
+pub use runtime::{
+    DispatchPolicy, FaultPolicy, PrefetcherKind, QueueModel, Simulation, SystemConfig, SystemKind,
+    Workload,
+};
+pub use scale::Scale;
+
+/// Everything a typical experiment needs.
+pub mod prelude {
+    pub use crate::report::{Expectation, FigureReport, Series};
+    pub use crate::scale::Scale;
+    pub use apps::{FaissWorkload, MemcachedWorkload, RocksDbWorkload, TpccWorkload};
+    pub use desim::{SimDuration, SimTime};
+    pub use loadgen::LoadPoint;
+    pub use runtime::sim::{run_one, RunParams, RunResult};
+    pub use runtime::{
+        ArrayIndexWorkload, DispatchPolicy, FaultPolicy, PrefetcherKind, QueueModel, Simulation,
+        StridedWorkload, SystemConfig, SystemKind, Workload,
+    };
+}

@@ -1,0 +1,285 @@
+//! Figure reports: measured series plus paper-vs-measured expectations.
+
+use std::fmt::Write as _;
+
+/// One plotted series (a line of a figure, or a table block).
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label (e.g. `"DiLOS"`).
+    pub label: String,
+    /// Column header for the rows.
+    pub header: String,
+    /// Pre-formatted rows.
+    pub rows: Vec<String>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, header: impl Into<String>) -> Series {
+        Series {
+            label: label.into(),
+            header: header.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Renders the series as CSV (columns split on whitespace — every
+    /// series in this crate uses fixed-width numeric columns).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let cols: Vec<&str> = self.header.split_whitespace().collect();
+        out.push_str(&cols.join(","));
+        out.push('\n');
+        for r in &self.rows {
+            let cells: Vec<&str> = r.split_whitespace().collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// One paper-claim vs measured-value row.
+#[derive(Debug, Clone)]
+pub struct Expectation {
+    /// What is being compared.
+    pub metric: String,
+    /// The paper's number/claim.
+    pub paper: String,
+    /// Our measured value.
+    pub measured: String,
+    /// Whether the measured value matches the claim's *shape* (who
+    /// wins / rough factor / crossover), when automatically checkable.
+    pub ok: Option<bool>,
+}
+
+impl Expectation {
+    /// Creates a checked expectation.
+    pub fn checked(
+        metric: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+        ok: bool,
+    ) -> Expectation {
+        Expectation {
+            metric: metric.into(),
+            paper: paper.into(),
+            measured: measured.into(),
+            ok: Some(ok),
+        }
+    }
+
+    /// Creates an informational (unchecked) expectation.
+    pub fn info(
+        metric: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+    ) -> Expectation {
+        Expectation {
+            metric: metric.into(),
+            paper: paper.into(),
+            measured: measured.into(),
+            ok: None,
+        }
+    }
+}
+
+/// A reproduced table or figure.
+#[derive(Debug, Clone)]
+pub struct FigureReport {
+    /// Identifier, e.g. `"Figure 7"`.
+    pub id: String,
+    /// Title line.
+    pub title: String,
+    /// Measured series.
+    pub series: Vec<Series>,
+    /// Paper-vs-measured rows.
+    pub expectations: Vec<Expectation>,
+    /// Free-form caveats (scaling notes, model substitutions).
+    pub notes: Vec<String>,
+}
+
+impl FigureReport {
+    /// Creates an empty report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> FigureReport {
+        FigureReport {
+            id: id.into(),
+            title: title.into(),
+            series: Vec::new(),
+            expectations: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Whether every checked expectation held.
+    pub fn all_ok(&self) -> bool {
+        self.expectations.iter().all(|e| e.ok != Some(false))
+    }
+
+    /// Renders the report for the terminal.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "==== {} — {} ====", self.id, self.title);
+        for s in &self.series {
+            let _ = writeln!(out, "\n-- {} --", s.label);
+            let _ = writeln!(out, "{}", s.header);
+            for r in &s.rows {
+                let _ = writeln!(out, "{r}");
+            }
+        }
+        if !self.expectations.is_empty() {
+            let _ = writeln!(out, "\npaper vs measured:");
+            for e in &self.expectations {
+                let mark = match e.ok {
+                    Some(true) => "[ok]  ",
+                    Some(false) => "[MISS]",
+                    None => "[info]",
+                };
+                let _ = writeln!(
+                    out,
+                    "  {mark} {:<44} paper: {:<28} measured: {}",
+                    e.metric, e.paper, e.measured
+                );
+            }
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "note: {n}");
+        }
+        out
+    }
+
+    /// Prints the report to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Writes one CSV per series into `dir` (for external plotting);
+    /// returns the written paths.
+    pub fn write_csvs(&self, dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+        std::fs::create_dir_all(dir)?;
+        let slug = |s: &str| -> String {
+            s.chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() {
+                        c.to_ascii_lowercase()
+                    } else {
+                        '_'
+                    }
+                })
+                .collect::<String>()
+                .split('_')
+                .filter(|p| !p.is_empty())
+                .collect::<Vec<_>>()
+                .join("_")
+        };
+        let mut paths = Vec::new();
+        for series in &self.series {
+            let name = format!("{}__{}.csv", slug(&self.id), slug(&series.label));
+            let path = dir.join(name);
+            std::fs::write(&path, series.to_csv())?;
+            paths.push(path);
+        }
+        Ok(paths)
+    }
+
+    /// Renders the report as Markdown (for `EXPERIMENTS.md`).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {} — {}\n", self.id, self.title);
+        for s in &self.series {
+            let _ = writeln!(out, "**{}**\n", s.label);
+            let _ = writeln!(out, "```text");
+            let _ = writeln!(out, "{}", s.header);
+            for r in &s.rows {
+                let _ = writeln!(out, "{r}");
+            }
+            let _ = writeln!(out, "```\n");
+        }
+        if !self.expectations.is_empty() {
+            let _ = writeln!(out, "| metric | paper | measured | shape |");
+            let _ = writeln!(out, "|---|---|---|---|");
+            for e in &self.expectations {
+                let mark = match e.ok {
+                    Some(true) => "✅",
+                    Some(false) => "❌",
+                    None => "—",
+                };
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {} | {} |",
+                    e.metric, e.paper, e.measured, mark
+                );
+            }
+            let _ = writeln!(out);
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "> {n}\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureReport {
+        let mut r = FigureReport::new("Figure 7", "microbenchmark");
+        let mut s = Series::new("Adios", "x y");
+        s.rows.push("1 2".into());
+        r.series.push(s);
+        r.expectations
+            .push(Expectation::checked("peak ratio", "1.58x", "1.49x", true));
+        r.expectations
+            .push(Expectation::info("absolute peak", "2.5 MRPS", "2.5 MRPS"));
+        r.notes.push("scaled working set".into());
+        r
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let text = sample().render();
+        assert!(text.contains("Figure 7"));
+        assert!(text.contains("Adios"));
+        assert!(text.contains("[ok]"));
+        assert!(text.contains("[info]"));
+        assert!(text.contains("scaled working set"));
+    }
+
+    #[test]
+    fn markdown_is_wellformed() {
+        let md = sample().to_markdown();
+        assert!(md.starts_with("## Figure 7"));
+        assert!(md.contains("```text"));
+        assert!(md.contains("| peak ratio | 1.58x | 1.49x | ✅ |"));
+    }
+
+    #[test]
+    fn csv_has_matching_columns() {
+        let mut s = Series::new("Adios", "  offered   p50(us)  p999(us)");
+        s.rows.push("  1300000      5.50     13.82".into());
+        let csv = s.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "offered,p50(us),p999(us)");
+        assert_eq!(lines[1], "1300000,5.50,13.82");
+    }
+
+    #[test]
+    fn write_csvs_creates_files() {
+        let dir = std::env::temp_dir().join(format!("adios_csv_test_{}", std::process::id()));
+        let paths = sample().write_csvs(&dir).unwrap();
+        assert_eq!(paths.len(), 1);
+        let content = std::fs::read_to_string(&paths[0]).unwrap();
+        assert!(content.starts_with("x,y"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn all_ok_detects_misses() {
+        let mut r = sample();
+        assert!(r.all_ok());
+        r.expectations
+            .push(Expectation::checked("x", "y", "z", false));
+        assert!(!r.all_ok());
+    }
+}

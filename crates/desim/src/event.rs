@@ -1,0 +1,225 @@
+//! Deterministic event queue.
+//!
+//! All simulated activity is driven by a single [`EventQueue`]. Events
+//! scheduled for the same instant are delivered in insertion order
+//! (FIFO), which makes every run a pure function of its inputs — a
+//! property the integration tests rely on to compare systems under
+//! identical arrival sequences.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An entry in the queue: reversed ordering so the `BinaryHeap` max-heap
+/// behaves as a min-heap on `(time, seq)`.
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: the earliest (time, seq) pair is the heap maximum.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A total-order discrete-event queue.
+///
+/// # Examples
+///
+/// ```
+/// use desim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime(20), "b");
+/// q.push(SimTime(10), "a");
+/// q.push(SimTime(20), "c"); // same instant as "b": FIFO order
+/// assert_eq!(q.pop(), Some((SimTime(10), "a")));
+/// assert_eq!(q.pop(), Some((SimTime(20), "b")));
+/// assert_eq!(q.pop(), Some((SimTime(20), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue positioned at t = 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Schedules `payload` for delivery at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the timestamp of the most
+    /// recently popped event — scheduling into the past is always a
+    /// simulation bug.
+    pub fn push(&mut self, time: SimTime, payload: E) {
+        assert!(
+            time >= self.now,
+            "event scheduled in the past: {time:?} < now {:?}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    /// Removes and returns the next event, advancing the queue clock to
+    /// its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now);
+        self.now = entry.time;
+        Some((entry.time, entry.payload))
+    }
+
+    /// Returns the timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Returns the timestamp of the most recently popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Returns the number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+    use proptest::prelude::*;
+
+    #[test]
+    fn orders_by_time_then_fifo() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(5), 1u32);
+        q.push(SimTime(3), 2);
+        q.push(SimTime(5), 3);
+        q.push(SimTime(4), 4);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec![2, 4, 1, 3]);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(10), ());
+        q.push(SimTime(30), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime(10));
+        q.pop();
+        assert_eq!(q.now(), SimTime(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(10), ());
+        q.pop();
+        q.push(SimTime(5), ());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(7), 'x');
+        assert_eq!(q.peek_time(), Some(SimTime(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        assert_eq!(q.pop(), Some((SimTime(7), 'x')));
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn scheduling_at_now_is_allowed() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(10), 0u8);
+        q.pop();
+        // Zero-delay follow-up events are common (e.g. immediate dispatch).
+        q.push(q.now() + SimDuration::ZERO, 1);
+        assert_eq!(q.pop(), Some((SimTime(10), 1)));
+    }
+
+    proptest! {
+        /// Popped timestamps are non-decreasing, and events with equal
+        /// timestamps come out in insertion order.
+        #[test]
+        fn total_order(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(SimTime(t), i);
+            }
+            let mut prev: Option<(SimTime, usize)> = None;
+            while let Some((t, i)) = q.pop() {
+                if let Some((pt, pi)) = prev {
+                    prop_assert!(t >= pt);
+                    if t == pt {
+                        prop_assert!(i > pi, "FIFO violated at equal timestamps");
+                    }
+                }
+                prev = Some((t, i));
+            }
+        }
+
+        /// Every pushed event is popped exactly once.
+        #[test]
+        fn conservation(times in proptest::collection::vec(0u64..100, 0..100)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(SimTime(t), i);
+            }
+            let mut seen = vec![false; times.len()];
+            while let Some((_, i)) = q.pop() {
+                prop_assert!(!seen[i]);
+                seen[i] = true;
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+        }
+    }
+}

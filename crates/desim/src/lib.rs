@@ -1,0 +1,29 @@
+//! Discrete-event simulation kernel for the Adios reproduction.
+//!
+//! This crate provides the deterministic building blocks every simulated
+//! component is made of:
+//!
+//! - [`SimTime`] / [`SimDuration`] — nanosecond-resolution simulated time,
+//!   with conversions to CPU cycles at the testbed clock rate (2 GHz, the
+//!   Intel Xeon Gold 6330 of the paper's compute node).
+//! - [`EventQueue`] — a total-order event queue. Ties in timestamps are
+//!   broken by insertion sequence number, so a simulation run is a pure
+//!   function of its inputs and seed.
+//! - [`Rng`] — a small, seedable xoshiro256** generator (no external
+//!   dependency, so results never change under a dependency bump), with
+//!   samplers for the distributions the experiments need (uniform,
+//!   exponential for Poisson arrival processes, normal).
+//! - [`Histogram`] — an HDR-style log-bucketed latency histogram with
+//!   ~1.5 % relative error, used for every P50/P99/P99.9 figure.
+
+pub mod event;
+pub mod hist;
+pub mod rng;
+pub mod series;
+pub mod time;
+
+pub use event::EventQueue;
+pub use hist::Histogram;
+pub use rng::Rng;
+pub use series::TimeSeries;
+pub use time::{SimDuration, SimTime, CYCLES_PER_SEC, NS_PER_SEC};

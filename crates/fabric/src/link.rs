@@ -1,0 +1,233 @@
+//! Bandwidth-limited unidirectional link.
+//!
+//! A [`Link`] is a FIFO wire: messages serialize back-to-back at line
+//! rate and then propagate. The link accounts carried bytes and busy
+//! time so experiments can report utilisation over a measurement window
+//! (Figures 2e and 7e of the paper).
+
+use desim::{SimDuration, SimTime, NS_PER_SEC};
+
+use crate::params::FabricParams;
+
+/// A unidirectional, bandwidth-limited wire.
+#[derive(Debug, Clone)]
+pub struct Link {
+    bandwidth_bps: u64,
+    propagation: SimDuration,
+    wire_overhead_bytes: u32,
+    next_free: SimTime,
+    bytes_carried: u64,
+    busy: SimDuration,
+}
+
+/// A snapshot of link counters, used to compute utilisation over a
+/// measurement window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkSnapshot {
+    /// Cumulative payload + overhead bytes carried.
+    pub bytes: u64,
+    /// Cumulative serialization (busy) time.
+    pub busy: SimDuration,
+}
+
+impl Link {
+    /// Creates a link from the shared fabric parameters.
+    pub fn new(params: &FabricParams) -> Link {
+        Link {
+            bandwidth_bps: params.link_bandwidth_bps,
+            propagation: params.propagation,
+            wire_overhead_bytes: params.wire_overhead_bytes,
+            next_free: SimTime::ZERO,
+            bytes_carried: 0,
+            busy: SimDuration::ZERO,
+        }
+    }
+
+    /// Transmits a message handed to the wire at `now`; returns the time
+    /// it is fully delivered at the far end.
+    ///
+    /// The message queues behind any in-flight serialization (FIFO), so
+    /// back-to-back callers observe queueing delay — this is where RDMA
+    /// link congestion appears in the model.
+    pub fn transmit(&mut self, now: SimTime, payload_bytes: u32) -> SimTime {
+        let wire_bytes = (payload_bytes + self.wire_overhead_bytes) as u64;
+        let ser_ns = (wire_bytes * 8 * NS_PER_SEC)
+            .div_ceil(self.bandwidth_bps)
+            .max(1);
+        let ser = SimDuration::from_nanos(ser_ns);
+        let start = self.next_free.max(now);
+        self.next_free = start + ser;
+        self.bytes_carried += wire_bytes;
+        self.busy += ser;
+        self.next_free + self.propagation
+    }
+
+    /// Returns the instant the wire becomes free for a new message.
+    pub fn next_free(&self) -> SimTime {
+        self.next_free
+    }
+
+    /// Takes a counter snapshot.
+    pub fn snapshot(&self) -> LinkSnapshot {
+        LinkSnapshot {
+            bytes: self.bytes_carried,
+            busy: self.busy,
+        }
+    }
+
+    /// Computes utilisation (0.0–1.0) between two snapshots over a
+    /// window of `window` duration, based on serialization busy time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or the snapshots are out of order.
+    pub fn utilization(before: &LinkSnapshot, after: &LinkSnapshot, window: SimDuration) -> f64 {
+        assert!(window > SimDuration::ZERO, "zero utilisation window");
+        let busy = after.busy - before.busy;
+        busy.as_nanos() as f64 / window.as_nanos() as f64
+    }
+
+    /// Computes goodput in bits per second between two snapshots.
+    pub fn throughput_bps(before: &LinkSnapshot, after: &LinkSnapshot, window: SimDuration) -> f64 {
+        assert!(window > SimDuration::ZERO, "zero throughput window");
+        ((after.bytes - before.bytes) * 8) as f64 / window.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> Link {
+        Link::new(&FabricParams::default())
+    }
+
+    #[test]
+    fn single_message_latency() {
+        let mut l = link();
+        let arrival = l.transmit(SimTime(1_000), 4096);
+        // ser ≈ 334 ns + 300 ns propagation.
+        assert_eq!(arrival.as_nanos(), 1_000 + 334 + 300);
+    }
+
+    #[test]
+    fn fifo_queueing() {
+        let mut l = link();
+        let a = l.transmit(SimTime(0), 4096);
+        let b = l.transmit(SimTime(0), 4096);
+        // Second message waits for the first to finish serializing.
+        assert_eq!(b.as_nanos() - a.as_nanos(), 334);
+    }
+
+    #[test]
+    fn idle_gap_resets_queueing() {
+        let mut l = link();
+        let _ = l.transmit(SimTime(0), 64);
+        // Long idle gap: next message starts immediately.
+        let arrival = l.transmit(SimTime(1_000_000), 64);
+        let ser = (64 + 78) * 8 / 100 + 1; // ceil at 100 Gbps
+        assert_eq!(arrival.as_nanos(), 1_000_000 + ser as u64 + 300);
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut l = link();
+        let before = l.snapshot();
+        // Fill exactly half of a 10 µs window with serialization.
+        let mut now = SimTime(0);
+        let mut sent = SimDuration::ZERO;
+        while sent.as_nanos() < 5_000 {
+            let t = l.transmit(now, 4096);
+            now = t; // pace at completion, leaving prop gaps
+            sent += SimDuration::from_nanos(334);
+        }
+        let after = l.snapshot();
+        let util = Link::utilization(&before, &after, SimDuration::from_micros(10));
+        assert!((0.45..=0.56).contains(&util), "util = {util}");
+        let tput = Link::throughput_bps(&before, &after, SimDuration::from_micros(10));
+        assert!(tput > 0.0);
+    }
+
+    #[test]
+    fn saturated_link_is_fully_utilized() {
+        let mut l = link();
+        let before = l.snapshot();
+        // Offer far more than the link can carry in 100 µs.
+        for _ in 0..1_000 {
+            l.transmit(SimTime(0), 4096);
+        }
+        let after = l.snapshot();
+        // 1000 * 334 ns of busy time vs a 334 µs window = 100 %.
+        let window = SimDuration::from_nanos(334_000);
+        let util = Link::utilization(&before, &after, window);
+        assert!(util >= 0.99, "util = {util}");
+    }
+
+    mod properties {
+        use super::*;
+        use desim::Rng;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// FIFO: arrival times are non-decreasing regardless of the
+            /// (time-ordered) submission pattern, and byte accounting
+            /// conserves payload + overhead.
+            #[test]
+            fn fifo_and_conservation(
+                msgs in proptest::collection::vec((0u64..100_000, 1u32..10_000), 1..100)
+            ) {
+                let mut sorted = msgs.clone();
+                sorted.sort_by_key(|&(t, _)| t);
+                let mut l = Link::new(&FabricParams::default());
+                let before = l.snapshot();
+                let mut prev_arrival = None;
+                let mut payload_total = 0u64;
+                for (t, bytes) in sorted {
+                    let arrival = l.transmit(SimTime(t), bytes);
+                    if let Some(p) = prev_arrival {
+                        prop_assert!(arrival > p, "FIFO violated");
+                    }
+                    prev_arrival = Some(arrival);
+                    payload_total += bytes as u64 + 78;
+                }
+                let after = l.snapshot();
+                prop_assert_eq!(after.bytes - before.bytes, payload_total);
+                // Busy time is at least the line-rate serialization of
+                // every byte carried.
+                let min_busy = payload_total * 8 * desim::NS_PER_SEC
+                    / FabricParams::default().link_bandwidth_bps;
+                prop_assert!(after.busy.as_nanos() >= min_busy);
+            }
+
+            /// A link never delivers faster than line rate over any
+            /// prefix of a burst.
+            #[test]
+            fn never_exceeds_line_rate(seed in 0u64..500) {
+                let mut rng = Rng::new(seed);
+                let mut l = Link::new(&FabricParams::default());
+                let mut carried = 0u64;
+                let start = SimTime(0);
+                for _ in 0..50 {
+                    let bytes = 64 + rng.gen_range(8_192) as u32;
+                    let last = l.transmit(start, bytes);
+                    carried += (bytes + 78) as u64;
+                    let elapsed = last.since(start).as_nanos().saturating_sub(300); // minus prop
+                    let implied_bps =
+                        carried as f64 * 8.0 / (elapsed as f64 / 1e9);
+                    prop_assert!(
+                        implied_bps <= 100e9 * 1.01,
+                        "implied rate {implied_bps} bps"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero utilisation window")]
+    fn zero_window_panics() {
+        let l = link();
+        let s = l.snapshot();
+        Link::utilization(&s, &s, SimDuration::ZERO);
+    }
+}

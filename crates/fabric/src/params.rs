@@ -1,0 +1,105 @@
+//! Fabric cost constants.
+//!
+//! Defaults are calibrated to the paper's testbed (ConnectX-6 Dx 100 GbE,
+//! PCIe-attached, 4 KB pages) and to the latency components the paper
+//! itself publishes: an unloaded 4 KB one-sided READ lands at ≈2.3 µs,
+//! inside the 2–3 µs the paper quotes (§3, refs [29, 64, 66]).
+
+use desim::SimDuration;
+
+/// Cost constants for links and NICs.
+#[derive(Debug, Clone)]
+pub struct FabricParams {
+    /// Link bandwidth in bits per second (100 GbE).
+    pub link_bandwidth_bps: u64,
+    /// One-way propagation + switching delay per link.
+    pub propagation: SimDuration,
+    /// Wire overhead added to every message (Ethernet + IP + UDP + BTH/
+    /// RETH + ICRC + FCS for RoCE; Ethernet framing for raw packets).
+    pub wire_overhead_bytes: u32,
+    /// MMIO doorbell + PCIe posting cost paid by the CPU per work request.
+    pub doorbell: SimDuration,
+    /// Shared NIC work-queue-engine occupancy per WQE. This is the
+    /// resource the paper blames for Memcached's throughput ceiling ("the
+    /// NIC could not match the host's processing power", §5.2).
+    pub nic_engine: SimDuration,
+    /// Memory-node-side NIC processing + host DMA per request.
+    pub remote_processing: SimDuration,
+    /// Compute-node-side DMA write + CQE generation on response arrival.
+    pub local_dma: SimDuration,
+    /// Send-queue depth per QP (maximum outstanding work requests).
+    pub qp_depth: u32,
+    /// RX descriptor ring size of the Ethernet port.
+    pub rx_ring_entries: usize,
+    /// TX engine occupancy per Ethernet transmit.
+    pub eth_tx_engine: SimDuration,
+    /// Delay from a frame leaving the port to its TX CQE being
+    /// pollable (descriptor fetch + completion DMA over PCIe). This is
+    /// what a non-delegating worker busy-waits on.
+    pub eth_tx_completion: SimDuration,
+}
+
+impl Default for FabricParams {
+    fn default() -> Self {
+        FabricParams {
+            link_bandwidth_bps: 100_000_000_000,
+            propagation: SimDuration::from_nanos(300),
+            wire_overhead_bytes: 78,
+            doorbell: SimDuration::from_nanos(100),
+            nic_engine: SimDuration::from_nanos(400),
+            remote_processing: SimDuration::from_nanos(600),
+            local_dma: SimDuration::from_nanos(250),
+            qp_depth: 64,
+            rx_ring_entries: 4096,
+            eth_tx_engine: SimDuration::from_nanos(150),
+            eth_tx_completion: SimDuration::from_nanos(1_000),
+        }
+    }
+}
+
+impl FabricParams {
+    /// Serialization time for `bytes` of payload plus wire overhead.
+    pub fn serialize(&self, payload_bytes: u32) -> SimDuration {
+        let wire_bytes = (payload_bytes + self.wire_overhead_bytes) as u64;
+        // bits / (bits per ns); round up so a message never takes zero time.
+        let bits = wire_bytes * 8;
+        let ns = (bits * desim::NS_PER_SEC).div_ceil(self.link_bandwidth_bps);
+        SimDuration::from_nanos(ns.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_of_a_page() {
+        let p = FabricParams::default();
+        // 4 KB + 78 B at 100 Gbps = 4174 * 8 / 100 = ~334 ns.
+        let d = p.serialize(4096);
+        assert!((330..=340).contains(&d.as_nanos()), "{d:?}");
+    }
+
+    #[test]
+    fn serialization_never_zero() {
+        let p = FabricParams::default();
+        assert!(p.serialize(0).as_nanos() >= 1);
+    }
+
+    #[test]
+    fn unloaded_read_latency_in_paper_range() {
+        // Doorbell + engine + req wire + prop + remote + data wire + prop
+        // + local DMA should land in the paper's 2–3 µs window.
+        let p = FabricParams::default();
+        let total = p.doorbell
+            + p.nic_engine
+            + p.serialize(16)
+            + p.propagation
+            + p.remote_processing
+            + p.serialize(4096)
+            + p.propagation
+            + p.local_dma;
+        let us = total.as_micros_f64();
+        assert!((1.9..=3.1).contains(&us), "unloaded fetch = {us} us");
+    }
+}

@@ -1,0 +1,21 @@
+//! Open-loop load generation and measurement.
+//!
+//! The paper's load generator (§4) is mutilate-like: an open-loop
+//! Poisson arrival process running on its own host, measuring
+//! end-to-end latency from NIC hardware timestamps (reply RX minus
+//! request TX). This crate provides:
+//!
+//! - [`OpenLoop`] — the Poisson arrival process (deterministic given a
+//!   seed, so every system under test sees the *same* arrival sequence);
+//! - [`Recorder`] — per-class latency histograms, per-request component
+//!   breakdowns (for Figures 2c / 7c), drop accounting and a warm-up
+//!   window;
+//! - [`LoadPoint`] — one point of a latency-vs-throughput sweep.
+
+pub mod arrivals;
+pub mod record;
+pub mod sweep;
+
+pub use arrivals::{BurstyLoop, OpenLoop};
+pub use record::{Breakdown, Recorder};
+pub use sweep::LoadPoint;

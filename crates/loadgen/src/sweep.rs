@@ -1,0 +1,73 @@
+//! Sweep result types and formatting.
+
+/// One point of a latency-vs-throughput sweep (one x-position of the
+/// paper's figures).
+#[derive(Debug, Clone, Copy)]
+pub struct LoadPoint {
+    /// Offered load (requests per second).
+    pub offered_rps: f64,
+    /// Achieved throughput (completions per second in the window).
+    pub achieved_rps: f64,
+    /// Median end-to-end latency (ns).
+    pub p50_ns: u64,
+    /// P99 end-to-end latency (ns).
+    pub p99_ns: u64,
+    /// P99.9 end-to-end latency (ns).
+    pub p999_ns: u64,
+    /// Mean end-to-end latency (ns).
+    pub mean_ns: f64,
+    /// Requests dropped in the window.
+    pub drops: u64,
+    /// RDMA data-direction link utilisation (0–1).
+    pub rdma_util: f64,
+}
+
+impl LoadPoint {
+    /// Formats the point as a fixed-width table row.
+    pub fn row(&self) -> String {
+        format!(
+            "{:>10.0} {:>11.0} {:>9.2} {:>9.2} {:>10.2} {:>9.2} {:>8} {:>7.1}%",
+            self.offered_rps,
+            self.achieved_rps,
+            self.p50_ns as f64 / 1000.0,
+            self.p99_ns as f64 / 1000.0,
+            self.p999_ns as f64 / 1000.0,
+            self.mean_ns / 1000.0,
+            self.drops,
+            self.rdma_util * 100.0,
+        )
+    }
+
+    /// The table header matching [`LoadPoint::row`].
+    pub fn header() -> &'static str {
+        "   offered    achieved   p50(us)   p99(us)  p999(us)  mean(us)    drops    util"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_formats_all_fields() {
+        let p = LoadPoint {
+            offered_rps: 1_300_000.0,
+            achieved_rps: 1_290_000.0,
+            p50_ns: 5_300,
+            p99_ns: 52_000,
+            p999_ns: 150_000,
+            mean_ns: 9_000.0,
+            drops: 12,
+            rdma_util: 0.5,
+        };
+        let row = p.row();
+        assert!(row.contains("1300000"));
+        assert!(row.contains("5.30"));
+        assert!(row.contains("50.0%"));
+        assert_eq!(
+            LoadPoint::header().split_whitespace().count(),
+            8,
+            "header column count matches row"
+        );
+    }
+}

@@ -1,0 +1,390 @@
+//! System configuration: the four evaluated systems and their cost
+//! constants.
+
+use desim::SimDuration;
+use fabric::FabricParams;
+use paging::reclaim::{ReclaimerMode, Watermarks};
+use paging::EvictionPolicy;
+
+/// Which paper system a configuration models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// Infiniswap (NSDI '17): the original paging-based MD system —
+    /// yield-based like Adios, but through the *kernel* scheduler
+    /// (≈4 µs context switches, block-layer swap path, scheduler
+    /// wake-up delays). The paper measured it off the charts (P99.9
+    /// 582 µs–73 ms, 261 KRPS) and excluded it from the figures.
+    Infiniswap,
+    /// Hermit: kernel-based busy-waiting with asynchronous non-critical
+    /// work (NSDI '23).
+    Hermit,
+    /// DiLOS: unikernel busy-waiting (EuroSys '23) — the paper's main
+    /// baseline.
+    Dilos,
+    /// DiLOS extended with Concord-style preemptive scheduling (§5
+    /// Setup, "DiLOS-P").
+    DilosP,
+    /// Adios: yield-based page fault handling with unithreads.
+    Adios,
+}
+
+impl SystemKind {
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemKind::Infiniswap => "Infiniswap",
+            SystemKind::Hermit => "Hermit",
+            SystemKind::Dilos => "DiLOS",
+            SystemKind::DilosP => "DiLOS-P",
+            SystemKind::Adios => "Adios",
+        }
+    }
+
+    /// The four systems of the paper's figures, in plotting order
+    /// (Infiniswap is excluded exactly as the paper excludes it).
+    pub fn all() -> [SystemKind; 4] {
+        [
+            SystemKind::Hermit,
+            SystemKind::Dilos,
+            SystemKind::DilosP,
+            SystemKind::Adios,
+        ]
+    }
+}
+
+/// What the page fault handler does while the fetch is in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPolicy {
+    /// Spin on the CQ until the fetch completes (Fastswap/Hermit/DiLOS).
+    BusyWait,
+    /// Spin, but the scheduler preempts requests at app-level probe
+    /// points every `preempt_interval` (DiLOS-P / Concord).
+    BusyWaitPreempt,
+    /// Issue the fetch and context-switch back to the worker (Adios).
+    Yield,
+}
+
+/// How the dispatcher picks a worker when several are idle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchPolicy {
+    /// Rotate over idle workers (Shinjuku/Concord baseline).
+    RoundRobin,
+    /// Algorithm 1: sort idle workers by outstanding page-fetch count
+    /// and prefer the least congested QP.
+    PfAware,
+}
+
+/// Queueing architecture in front of the workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueModel {
+    /// One centralized FCFS queue fed by the dispatcher (c-FCFS).
+    SingleQueue,
+    /// Per-worker queues with random (RSS-style) steering — Hermit's
+    /// kernel path, and the `ablation_queueing` baseline (d-FCFS).
+    PerWorker,
+    /// Per-worker queues with ZygOS-style work stealing: an idle worker
+    /// takes the head of the longest peer queue (approximated
+    /// centralized FCFS, §3.4, ZygOS).
+    PerWorkerStealing,
+}
+
+/// Which prefetcher the page fault handler overlaps with the fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefetcherKind {
+    /// No pattern-based prefetching.
+    None,
+    /// Sequential readahead with an exponentially growing window (the
+    /// OSv/DiLOS default; next-page streams only).
+    Readahead {
+        /// Maximum readahead window in pages.
+        window: u32,
+    },
+    /// Leap's majority-trend prefetcher (ATC '20): detects arbitrary
+    /// strides by majority vote over recent fault deltas.
+    Leap {
+        /// Delta-history window.
+        window: u32,
+        /// Maximum prefetch depth in strides.
+        depth: u32,
+    },
+}
+
+/// Extra costs of a kernel-based (non-unikernel) fault path.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelCosts {
+    /// Exception entry into the kernel.
+    pub fault_entry: SimDuration,
+    /// Swap-path software work on the critical path (Hermit moves ~10 %
+    /// of it off the critical path; that discount is already applied by
+    /// `SystemConfig::hermit`).
+    pub swap_work: SimDuration,
+    /// Return to user (`iret`-class, §3: 1–2 µs control transfer).
+    pub kernel_exit: SimDuration,
+    /// Kernel network-stack cost added to every request (no kernel
+    /// bypass on the client path).
+    pub net_stack: SimDuration,
+    /// Mean period between kernel interference events per worker
+    /// (scheduler ticks, softirqs, kswapd — the kernel tail).
+    pub interference_period: SimDuration,
+    /// Mean duration of one interference stall.
+    pub interference_stall: SimDuration,
+}
+
+/// Full configuration of one simulated system.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Which paper system this models.
+    pub kind: SystemKind,
+    /// Worker threads (paper: 8).
+    pub workers: usize,
+    /// Page-fault handling policy.
+    pub fault_policy: FaultPolicy,
+    /// Dispatch policy among idle workers.
+    pub dispatch_policy: DispatchPolicy,
+    /// Queueing architecture.
+    pub queue_model: QueueModel,
+    /// Whether reply-TX completions are delegated to the dispatcher's
+    /// CQ (§3.4). Without it the worker busy-waits the TX completion.
+    pub polling_delegation: bool,
+    /// Reclaimer drive mode.
+    pub reclaimer_mode: ReclaimerMode,
+    /// Reclaim watermarks.
+    pub watermarks: Watermarks,
+    /// Eviction policy of the page cache.
+    pub eviction: EvictionPolicy,
+    /// Preemption interval (DiLOS-P; paper default 5 µs).
+    pub preempt_interval: SimDuration,
+    /// Cost of one preemption (probe hit + ucontext-class switch +
+    /// re-enqueue).
+    pub preempt_cost: SimDuration,
+    /// Kernel path costs (Hermit only).
+    pub kernel: Option<KernelCosts>,
+    /// Expected extra pages speculatively fetched per fault by the
+    /// always-on readahead (see `paging::prefetch`; models the DiLOS/
+    /// OSv prefetcher all systems run, §2.3).
+    pub speculative_readahead: f64,
+    /// Pattern-based prefetcher run by the fault handler.
+    pub prefetcher: PrefetcherKind,
+    /// Bytes fetched per fault (4 KB pages; 2 MB reproduces the paper's
+    /// huge-page I/O-amplification discussion in §5.2 Silo).
+    pub fetch_page_bytes: u32,
+    /// Delay between a fetch completion and the faulting thread being
+    /// runnable again (zero in Adios; kernel-scheduler wake-up latency
+    /// in Infiniswap).
+    pub resume_delay: SimDuration,
+    /// Cost of one work-steal attempt (`PerWorkerStealing`).
+    pub steal_cost: SimDuration,
+    /// Per-request networking-stack overhead beyond raw Ethernet,
+    /// charged on RX admission (dispatcher) and reply TX (worker).
+    /// Zero models the paper's Raw-Ethernet/UDP prototype; ~0.4 µs a
+    /// TAS/IX-class kernel-bypass TCP; ~2.5 µs a kernel TCP stack
+    /// (§6: "networking protocol support is orthogonal to our design").
+    pub client_stack: SimDuration,
+    /// Dispatcher cost to admit + dispatch one request.
+    pub dispatch_cost: SimDuration,
+    /// Dispatcher cost to hand a queued request to a newly idle worker.
+    pub handoff_cost: SimDuration,
+    /// Dispatcher cost to recycle one delegated TX completion.
+    pub recycle_cost: SimDuration,
+    /// Worker cost to set up a request (parse headers, create the
+    /// unithread / handler frame).
+    pub request_setup: SimDuration,
+    /// Worker cost to build the reply before posting TX.
+    pub reply_build: SimDuration,
+    /// Unikernel fault-handler entry (exception + unified lookup).
+    pub fault_entry: SimDuration,
+    /// Frame allocation + WQE build cost at fault time.
+    pub fault_issue: SimDuration,
+    /// Prefetch-algorithm compute run while the fetch is in flight.
+    pub prefetch_compute: SimDuration,
+    /// Mapping the fetched page + resuming the faulting code.
+    pub fault_map: SimDuration,
+    /// One unithread context switch (Table 1: 40 cycles = 20 ns).
+    pub ctx_switch: SimDuration,
+    /// One CQ poll by a worker.
+    pub cq_poll: SimDuration,
+    /// Per-page eviction cost paid by the reclaimer.
+    pub evict_cost: SimDuration,
+    /// Reclaimer batch size per tick.
+    pub reclaim_batch: usize,
+    /// Wake-up delay of a `WakeUp`-mode reclaimer.
+    pub reclaim_wake_delay: SimDuration,
+    /// Synchronous direct-reclaim cost when a fault finds no free frame.
+    pub direct_reclaim_cost: SimDuration,
+    /// Central pending-queue capacity (arrivals beyond it are dropped).
+    pub pending_cap: usize,
+    /// Fabric parameters.
+    pub fabric: FabricParams,
+}
+
+impl SystemConfig {
+    fn base(kind: SystemKind) -> SystemConfig {
+        SystemConfig {
+            kind,
+            workers: 8,
+            fault_policy: FaultPolicy::BusyWait,
+            dispatch_policy: DispatchPolicy::RoundRobin,
+            queue_model: QueueModel::SingleQueue,
+            polling_delegation: false,
+            reclaimer_mode: ReclaimerMode::WakeUp,
+            watermarks: Watermarks::default(),
+            eviction: EvictionPolicy::Clock,
+            preempt_interval: SimDuration::from_micros(5),
+            preempt_cost: SimDuration::from_nanos(220),
+            kernel: None,
+            speculative_readahead: 0.25,
+            prefetcher: PrefetcherKind::Readahead { window: 8 },
+            fetch_page_bytes: paging::PAGE_SIZE as u32,
+            resume_delay: SimDuration::ZERO,
+            steal_cost: SimDuration::from_nanos(250),
+            client_stack: SimDuration::ZERO,
+            dispatch_cost: SimDuration::from_nanos(150),
+            handoff_cost: SimDuration::from_nanos(80),
+            recycle_cost: SimDuration::from_nanos(60),
+            request_setup: SimDuration::from_nanos(150),
+            reply_build: SimDuration::from_nanos(100),
+            fault_entry: SimDuration::from_nanos(500),
+            fault_issue: SimDuration::from_nanos(300),
+            prefetch_compute: SimDuration::from_nanos(400),
+            fault_map: SimDuration::from_nanos(700),
+            ctx_switch: SimDuration::from_nanos(20),
+            cq_poll: SimDuration::from_nanos(60),
+            evict_cost: SimDuration::from_nanos(100),
+            reclaim_batch: 16,
+            reclaim_wake_delay: SimDuration::from_micros(5),
+            direct_reclaim_cost: SimDuration::from_nanos(600),
+            pending_cap: 4096,
+            fabric: FabricParams::default(),
+        }
+    }
+
+    /// DiLOS: unikernel busy-waiting, single queue, wake-up reclaimer.
+    pub fn dilos() -> SystemConfig {
+        SystemConfig::base(SystemKind::Dilos)
+    }
+
+    /// DiLOS-P: DiLOS plus Concord-style preemption (manually enforced
+    /// cooperation, 5 µs interval).
+    pub fn dilos_p() -> SystemConfig {
+        SystemConfig {
+            fault_policy: FaultPolicy::BusyWaitPreempt,
+            ..SystemConfig::base(SystemKind::DilosP)
+        }
+    }
+
+    /// Adios: yield-based fault handling, PF-aware dispatch, polling
+    /// delegation, proactive pinned reclaimer.
+    pub fn adios() -> SystemConfig {
+        SystemConfig {
+            fault_policy: FaultPolicy::Yield,
+            dispatch_policy: DispatchPolicy::PfAware,
+            polling_delegation: true,
+            reclaimer_mode: ReclaimerMode::Proactive,
+            ..SystemConfig::base(SystemKind::Adios)
+        }
+    }
+
+    /// Hermit: kernel-based busy-waiting with per-core RSS queues,
+    /// asynchronous offload of non-urgent fault work, and kernel tail
+    /// interference.
+    pub fn hermit() -> SystemConfig {
+        SystemConfig {
+            queue_model: QueueModel::PerWorker,
+            kernel: Some(KernelCosts {
+                fault_entry: SimDuration::from_nanos(400),
+                // ~0.9 µs of swap-path software work after Hermit's
+                // async design moves ~10 % off the critical path.
+                swap_work: SimDuration::from_nanos(800),
+                kernel_exit: SimDuration::from_nanos(600),
+                net_stack: SimDuration::from_nanos(700),
+                interference_period: SimDuration::from_micros(800),
+                interference_stall: SimDuration::from_micros(60),
+            }),
+            ..SystemConfig::base(SystemKind::Hermit)
+        }
+    }
+
+    /// Infiniswap: yield-based paging through the kernel — heavyweight
+    /// context switches, block-layer swap work per fault, and scheduler
+    /// wake-up latency before a fetched thread runs again.
+    pub fn infiniswap() -> SystemConfig {
+        SystemConfig {
+            fault_policy: FaultPolicy::Yield,
+            queue_model: QueueModel::PerWorker,
+            // ~4 µs kernel context switch (Litton et al., §7): 2 µs per
+            // direction.
+            ctx_switch: SimDuration::from_micros(2),
+            resume_delay: SimDuration::from_micros(30),
+            kernel: Some(KernelCosts {
+                fault_entry: SimDuration::from_nanos(600),
+                // Block-layer swap path (bio + frontswap + RDMA block
+                // driver) — far heavier than Hermit's tuned path.
+                swap_work: SimDuration::from_micros(6),
+                kernel_exit: SimDuration::from_micros(1),
+                net_stack: SimDuration::from_micros(1),
+                interference_period: SimDuration::from_micros(600),
+                interference_stall: SimDuration::from_micros(150),
+            }),
+            ..SystemConfig::base(SystemKind::Infiniswap)
+        }
+    }
+
+    /// The configuration for a [`SystemKind`].
+    pub fn for_kind(kind: SystemKind) -> SystemConfig {
+        match kind {
+            SystemKind::Infiniswap => SystemConfig::infiniswap(),
+            SystemKind::Hermit => SystemConfig::hermit(),
+            SystemKind::Dilos => SystemConfig::dilos(),
+            SystemKind::DilosP => SystemConfig::dilos_p(),
+            SystemKind::Adios => SystemConfig::adios(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_setup() {
+        let a = SystemConfig::adios();
+        assert_eq!(a.workers, 8);
+        assert_eq!(a.fault_policy, FaultPolicy::Yield);
+        assert_eq!(a.dispatch_policy, DispatchPolicy::PfAware);
+        assert!(a.polling_delegation);
+        assert_eq!(a.reclaimer_mode, ReclaimerMode::Proactive);
+
+        let d = SystemConfig::dilos();
+        assert_eq!(d.fault_policy, FaultPolicy::BusyWait);
+        assert_eq!(d.dispatch_policy, DispatchPolicy::RoundRobin);
+        assert!(!d.polling_delegation);
+
+        let p = SystemConfig::dilos_p();
+        assert_eq!(p.fault_policy, FaultPolicy::BusyWaitPreempt);
+        assert_eq!(p.preempt_interval, SimDuration::from_micros(5));
+
+        let h = SystemConfig::hermit();
+        assert!(h.kernel.is_some());
+        assert_eq!(h.queue_model, QueueModel::PerWorker);
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(SystemKind::Adios.name(), "Adios");
+        assert_eq!(SystemKind::DilosP.name(), "DiLOS-P");
+        assert_eq!(SystemKind::all().len(), 4);
+    }
+
+    #[test]
+    fn for_kind_round_trips() {
+        for kind in SystemKind::all() {
+            assert_eq!(SystemConfig::for_kind(kind).kind, kind);
+        }
+    }
+
+    #[test]
+    fn unithread_switch_matches_table_1() {
+        // 40 cycles at 2 GHz = 20 ns.
+        assert_eq!(SystemConfig::adios().ctx_switch.as_cycles(), 40);
+    }
+}

@@ -1,0 +1,1662 @@
+//! The discrete-event simulation of one compute node under load.
+//!
+//! Execution model: every simulated activity is an event in a single
+//! total-order queue. Workers execute request traces *synchronously in
+//! virtual time* between blocking points; each blocking point (page
+//! fault, busy-wait completion, reply transmission, going idle)
+//! schedules the continuation as a new event, so fetch completions and
+//! new arrivals interleave with worker progress exactly as on real
+//! hardware.
+//!
+//! Timing approximation: within one execution segment a worker's
+//! virtual clock `t` runs ahead of the global event clock by at most a
+//! few microseconds; fabric FIFOs are updated in call order rather than
+//! strict virtual-time order within that window. The error is bounded
+//! by one segment length and is far below the latency scales the paper
+//! reports.
+
+use std::collections::{HashMap, VecDeque};
+
+use desim::{EventQueue, Rng, SimDuration, SimTime};
+use fabric::link::Link;
+use fabric::nic::Verb;
+use fabric::{EthPort, FabricParams, MemNode, QpId, RdmaNic};
+use loadgen::{Breakdown, BurstyLoop, LoadPoint, OpenLoop, Recorder};
+use paging::prefetch::{LeapDetector, SeqDetector};
+use paging::reclaim::ReclaimerMode;
+use paging::trace::Trace;
+use paging::{PageCache, PageState, PAGE_SIZE};
+
+use crate::config::{DispatchPolicy, FaultPolicy, PrefetcherKind, QueueModel, SystemConfig};
+use crate::workload::Workload;
+
+/// Parameters of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunParams {
+    /// Offered load in requests per second.
+    pub offered_rps: f64,
+    /// Seed for arrivals, workload and steering randomness.
+    pub seed: u64,
+    /// Warm-up time excluded from measurement.
+    pub warmup: SimDuration,
+    /// Measurement window.
+    pub measure: SimDuration,
+    /// Local DRAM as a fraction of the working set (paper default 0.2;
+    /// 1.0 = everything local).
+    pub local_mem_fraction: f64,
+    /// Retain per-request breakdowns (Figures 2c / 7c).
+    pub keep_breakdowns: bool,
+    /// Optional burstiness: `(peak_factor, mean_phase)` turns the
+    /// Poisson source into a two-state MMPP with the same mean rate
+    /// (§3.2 burst-tolerance studies).
+    pub burst: Option<(f64, SimDuration)>,
+    /// Record a queue-depth/in-flight timeline with this bucket width
+    /// (None = off; used by the burst-tolerance study).
+    pub timeline_bucket: Option<SimDuration>,
+}
+
+impl Default for RunParams {
+    fn default() -> Self {
+        RunParams {
+            offered_rps: 1_000_000.0,
+            seed: 1,
+            warmup: SimDuration::from_millis(20),
+            measure: SimDuration::from_millis(80),
+            local_mem_fraction: 0.2,
+            keep_breakdowns: false,
+            burst: None,
+            timeline_bucket: None,
+        }
+    }
+}
+
+/// Queue-depth and in-flight-fetch dynamics over the run.
+pub struct Timeline {
+    /// Central pending-queue depth, sampled at each arrival.
+    pub queue_depth: desim::TimeSeries,
+    /// Outstanding RDMA fetches, sampled at each arrival.
+    pub inflight: desim::TimeSeries,
+}
+
+/// Aggregate statistics of one run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimStats {
+    /// Worker time burned busy-waiting (spinning), ns.
+    pub spin_ns: u64,
+    /// Preemptions performed (DiLOS-P).
+    pub preemptions: u64,
+    /// Faults that found the QP full and had to pause.
+    pub qp_stalls: u64,
+    /// Faults coalesced onto an in-flight fetch.
+    pub coalesced: u64,
+    /// Synchronous direct reclaims on the fault path.
+    pub direct_reclaims: u64,
+    /// Dirty pages written back.
+    pub writebacks: u64,
+    /// Speculative/sequential prefetch fetches issued.
+    pub prefetches: u64,
+    /// Requests taken from a peer's queue (`PerWorkerStealing`).
+    pub steals: u64,
+}
+
+/// Result of one run.
+pub struct RunResult {
+    /// Latency recorder (per-class histograms, breakdowns, drops).
+    pub recorder: Recorder,
+    /// Utilisation of the RDMA data direction (memory→compute) over the
+    /// measurement window.
+    pub rdma_data_util: f64,
+    /// Utilisation of the RDMA control direction (compute→memory).
+    pub rdma_ctrl_util: f64,
+    /// Aggregate counters.
+    pub stats: SimStats,
+    /// Page-cache counters over the whole run.
+    pub cache: paging::cache::CacheStats,
+    /// The offered load this run used.
+    pub offered_rps: f64,
+    /// Measurement window length.
+    pub window: SimDuration,
+    /// Workers configured.
+    pub workers: usize,
+    /// Optional dynamics timeline (see [`RunParams::timeline_bucket`]).
+    pub timeline: Option<Timeline>,
+}
+
+impl RunResult {
+    /// Summarises the run as one sweep point.
+    pub fn point(&self) -> LoadPoint {
+        let h = self.recorder.overall();
+        LoadPoint {
+            offered_rps: self.offered_rps,
+            achieved_rps: self.recorder.achieved_rps(),
+            p50_ns: h.percentile(50.0),
+            p99_ns: h.percentile(99.0),
+            p999_ns: h.percentile(99.9),
+            mean_ns: h.mean(),
+            drops: self.recorder.dropped(),
+            rdma_util: self.rdma_data_util,
+        }
+    }
+
+    /// Fraction of total worker time spent spinning.
+    pub fn spin_fraction(&self) -> f64 {
+        self.stats.spin_ns as f64 / (self.workers as f64 * self.window.as_nanos() as f64)
+    }
+}
+
+/// Continuations a worker wake-up can carry.
+#[derive(Debug, Clone, Copy)]
+enum Cont {
+    /// Begin (or re-begin after preemption) executing a request.
+    Start { req: usize },
+    /// Resume a yielded unithread whose fetch completed (map + switch).
+    Resume { req: usize },
+    /// Busy-wait finished: map the page and continue.
+    AfterBusyWait { req: usize },
+    /// Retry a fault that could not allocate or post.
+    RetryFault { req: usize },
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// Request delivered to the node's RX path.
+    Arrival { req: usize },
+    /// Dispatcher finished admitting a request into the central queue.
+    Admit { req: usize },
+    /// A worker continues at its scheduled time.
+    WorkerWake { worker: usize, cont: Cont },
+    /// A page fetch CQE became pollable.
+    FetchDone { worker: usize, page: u64 },
+    /// A yielded request becomes runnable (after any kernel wake-up
+    /// delay — nonzero only for Infiniswap).
+    WaiterReady { req: usize },
+    /// A reclaimer write-back completed on its dedicated QP.
+    WriteDone,
+    /// Reclaimer processes its next batch.
+    ReclaimTick,
+}
+
+/// Per-request prefetch-pattern detector.
+enum Detector {
+    None,
+    Seq(SeqDetector),
+    Leap(LeapDetector),
+}
+
+impl Detector {
+    fn new(kind: PrefetcherKind) -> Detector {
+        match kind {
+            PrefetcherKind::None => Detector::None,
+            PrefetcherKind::Readahead { window } => Detector::Seq(SeqDetector::new(window)),
+            PrefetcherKind::Leap { window, depth } => {
+                Detector::Leap(LeapDetector::new(window, depth))
+            }
+        }
+    }
+
+    /// Returns `(stride, count)` of pages to prefetch after a fault.
+    fn on_fault(&mut self, page: u64) -> (i64, u32) {
+        match self {
+            Detector::None => (0, 0),
+            Detector::Seq(d) => (1, d.on_fault(page)),
+            Detector::Leap(d) => d.on_fault(page),
+        }
+    }
+}
+
+struct Req {
+    trace: Trace,
+    step: usize,
+    /// Load-generator hardware TX timestamp.
+    tx_time: SimTime,
+    /// When the request was last put on a queue (for queueing
+    /// attribution).
+    queued_at: SimTime,
+    /// When the request last started running on a worker (preemption
+    /// epoch).
+    sched_epoch: SimTime,
+    /// Worker currently responsible (valid once started).
+    worker: usize,
+    /// When the current fault parked the unithread (yield policy).
+    parked_at: SimTime,
+    /// When the current fault's fetch completed.
+    fetch_done_at: SimTime,
+    started: bool,
+    b: Breakdown,
+    detector: Detector,
+}
+
+struct Worker {
+    busy: bool,
+    /// Worker timeline high-water mark: it can accept new work only at
+    /// or after this instant.
+    free_at: SimTime,
+    qp: QpId,
+    /// Yielded unithreads whose fetches completed (ready to resume).
+    resumes: VecDeque<usize>,
+    /// Per-worker queue (Hermit / d-FCFS ablation).
+    local_queue: VecDeque<usize>,
+    /// A fault paused on a full QP.
+    blocked: Option<(usize, SimTime)>,
+}
+
+struct Inflight {
+    done_at: SimTime,
+    /// Yield-policy waiters (request ids) to resume on completion.
+    waiters: Vec<usize>,
+    /// Completion consumed early by a worker that caught up with it.
+    completed_early: bool,
+}
+
+#[derive(PartialEq)]
+enum ReclaimState {
+    Idle,
+    Scheduled,
+}
+
+/// The arrival source (Poisson or MMPP).
+enum Arrivals {
+    Poisson(OpenLoop),
+    Bursty(BurstyLoop),
+}
+
+impl Arrivals {
+    fn next_arrival(&mut self) -> SimTime {
+        match self {
+            Arrivals::Poisson(p) => p.next_arrival(),
+            Arrivals::Bursty(b) => b.next_arrival(),
+        }
+    }
+}
+
+/// One compute node + memory node + load generator, ready to run.
+pub struct Simulation<'w> {
+    cfg: SystemConfig,
+    params: RunParams,
+    events: EventQueue<Ev>,
+    eth: EthPort,
+    nic: RdmaNic,
+    mem: MemNode,
+    cache: PageCache,
+    workload: &'w mut dyn Workload,
+    arrivals: Arrivals,
+    recorder: Recorder,
+    rng: Rng,
+    reqs: Vec<Option<Req>>,
+    free_reqs: Vec<usize>,
+    workers: Vec<Worker>,
+    pending: VecDeque<usize>,
+    rr_next: usize,
+    dispatcher_free: SimTime,
+    admission_backlog: usize,
+    inflight: HashMap<u64, Inflight>,
+    /// Dirty pages whose write-back is waiting for a reclaimer-QP slot.
+    deferred_writebacks: VecDeque<u64>,
+    reclaim_state: ReclaimState,
+    gen_end: SimTime,
+    stats: SimStats,
+    start_snap: Option<(fabric::link::LinkSnapshot, fabric::link::LinkSnapshot)>,
+    end_snap: Option<(fabric::link::LinkSnapshot, fabric::link::LinkSnapshot)>,
+    warmup_end: SimTime,
+    measure_end: SimTime,
+    timeline: Option<Timeline>,
+}
+
+impl<'w> Simulation<'w> {
+    /// Builds a simulation of `cfg` running `workload` under `params`.
+    ///
+    /// The workload is borrowed so an expensive application dataset can
+    /// be built once and swept over many load points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local_mem_fraction` is outside `(0, 1]`.
+    pub fn new(
+        cfg: SystemConfig,
+        workload: &'w mut dyn Workload,
+        params: RunParams,
+    ) -> Simulation<'w> {
+        assert!(
+            params.local_mem_fraction > 0.0 && params.local_mem_fraction <= 1.0,
+            "local_mem_fraction must be in (0, 1]"
+        );
+        assert!(cfg.workers >= 1, "at least one worker required");
+        let total_pages = workload.total_pages();
+        let capacity = ((total_pages as f64 * params.local_mem_fraction).round() as usize)
+            .clamp(16, total_pages as usize);
+        let mut cache = PageCache::new(capacity, total_pages, cfg.eviction);
+        let mut rng = Rng::new(params.seed ^ 0xC0FF_EE00);
+
+        // Warm the cache to its steady-state fill (free list sitting at
+        // the high watermark) so measurement starts in steady state.
+        let fill = if capacity == total_pages as usize {
+            capacity
+        } else {
+            capacity - cfg.watermarks.high_frames(capacity)
+        };
+        match workload.warm_pages() {
+            Some(pages) => cache.warm_with(pages.into_iter().take(fill)),
+            None => cache.warm(fill, &mut rng.fork(1)),
+        }
+
+        let warmup_end = SimTime::ZERO + params.warmup;
+        let measure_end = warmup_end + params.measure;
+        let fabric_params: FabricParams = cfg.fabric.clone();
+        let workers = (0..cfg.workers)
+            .map(|i| Worker {
+                busy: false,
+                free_at: SimTime::ZERO,
+                qp: QpId(i as u32),
+                resumes: VecDeque::new(),
+                local_queue: VecDeque::new(),
+                blocked: None,
+            })
+            .collect();
+
+        let classes = workload.classes().len();
+        let mut recorder = Recorder::new(warmup_end, measure_end, classes);
+        recorder.keep_breakdowns(params.keep_breakdowns);
+
+        Simulation {
+            events: EventQueue::new(),
+            eth: EthPort::new(&fabric_params),
+            // One QP per worker plus the reclaimer's write-back QP.
+            nic: RdmaNic::new(fabric_params, cfg.workers as u32 + 1),
+            mem: MemNode::new(total_pages, PAGE_SIZE as u32),
+            cache,
+            arrivals: match params.burst {
+                None => Arrivals::Poisson(OpenLoop::new(params.offered_rps, params.seed)),
+                Some((peak, phase)) => Arrivals::Bursty(BurstyLoop::new(
+                    params.offered_rps,
+                    peak,
+                    phase,
+                    params.seed,
+                )),
+            },
+            recorder,
+            rng,
+            reqs: Vec::new(),
+            free_reqs: Vec::new(),
+            workers,
+            pending: VecDeque::new(),
+            rr_next: 0,
+            dispatcher_free: SimTime::ZERO,
+            admission_backlog: 0,
+            inflight: HashMap::new(),
+            deferred_writebacks: VecDeque::new(),
+            reclaim_state: ReclaimState::Idle,
+            gen_end: measure_end,
+            stats: SimStats::default(),
+            start_snap: None,
+            end_snap: None,
+            warmup_end,
+            measure_end,
+            timeline: params.timeline_bucket.map(|b| Timeline {
+                queue_depth: desim::TimeSeries::new(b),
+                inflight: desim::TimeSeries::new(b),
+            }),
+            workload,
+            cfg,
+            params,
+        }
+    }
+
+    /// Runs to completion and returns the results.
+    pub fn run(mut self) -> RunResult {
+        self.schedule_next_arrival();
+        let drain_end = self.measure_end + SimDuration::from_millis(20);
+        while let Some((now, ev)) = self.events.pop() {
+            if self.start_snap.is_none() && now >= self.warmup_end {
+                self.start_snap = Some((
+                    self.nic.data_link().snapshot(),
+                    self.nic.ctrl_link().snapshot(),
+                ));
+            }
+            if self.end_snap.is_none() && now >= self.measure_end {
+                self.end_snap = Some((
+                    self.nic.data_link().snapshot(),
+                    self.nic.ctrl_link().snapshot(),
+                ));
+            }
+            if now > drain_end {
+                break;
+            }
+            self.handle(now, ev);
+        }
+        let window = self.params.measure;
+        let (data_util, ctrl_util) = match (self.start_snap, self.end_snap) {
+            (Some((d0, c0)), Some((d1, c1))) => (
+                Link::utilization(&d0, &d1, window),
+                Link::utilization(&c0, &c1, window),
+            ),
+            (Some((d0, c0)), None) => {
+                // Run drained before measure_end (light load): use the
+                // final counters.
+                let d1 = self.nic.data_link().snapshot();
+                let c1 = self.nic.ctrl_link().snapshot();
+                (
+                    Link::utilization(&d0, &d1, window),
+                    Link::utilization(&c0, &c1, window),
+                )
+            }
+            _ => (0.0, 0.0),
+        };
+        RunResult {
+            recorder: self.recorder,
+            rdma_data_util: data_util,
+            rdma_ctrl_util: ctrl_util,
+            stats: self.stats,
+            cache: self.cache.stats(),
+            offered_rps: self.params.offered_rps,
+            window,
+            workers: self.cfg.workers,
+            timeline: self.timeline,
+        }
+    }
+
+    // ----- arrivals and dispatch ---------------------------------------
+
+    fn schedule_next_arrival(&mut self) {
+        let tx = self.arrivals.next_arrival();
+        if tx >= self.gen_end {
+            return;
+        }
+        let trace = self.workload.next_request(&mut self.rng);
+        let req_bytes = trace.request_bytes;
+        let id = self.alloc_req(trace, tx);
+        let delivered = self.eth.deliver_request(tx, req_bytes);
+        self.events.push(delivered, Ev::Arrival { req: id });
+    }
+
+    fn alloc_req(&mut self, trace: Trace, tx: SimTime) -> usize {
+        let req = Req {
+            trace,
+            step: 0,
+            tx_time: tx,
+            queued_at: tx,
+            sched_epoch: tx,
+            worker: usize::MAX,
+            parked_at: SimTime::ZERO,
+            fetch_done_at: SimTime::ZERO,
+            started: false,
+            b: Breakdown::default(),
+            detector: Detector::new(self.cfg.prefetcher),
+        };
+        if let Some(slot) = self.free_reqs.pop() {
+            self.reqs[slot] = Some(req);
+            slot
+        } else {
+            self.reqs.push(Some(req));
+            self.reqs.len() - 1
+        }
+    }
+
+    fn free_req(&mut self, id: usize) {
+        self.reqs[id] = None;
+        self.free_reqs.push(id);
+    }
+
+    fn req(&mut self, id: usize) -> &mut Req {
+        self.reqs[id].as_mut().expect("dangling request id")
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::Arrival { req } => self.on_arrival(now, req),
+            Ev::Admit { req } => self.on_admit(now, req),
+            Ev::WorkerWake { worker, cont } => self.on_worker_wake(now, worker, cont),
+            Ev::FetchDone { worker, page } => self.on_fetch_done(now, worker, page),
+            Ev::WaiterReady { req } => self.on_waiter_ready(now, req),
+            Ev::WriteDone => self.on_write_done(now),
+            Ev::ReclaimTick => self.on_reclaim_tick(now),
+        }
+    }
+
+    fn on_arrival(&mut self, now: SimTime, req: usize) {
+        self.schedule_next_arrival();
+        if let Some(tl) = &mut self.timeline {
+            let depth = self.pending.len()
+                + self
+                    .workers
+                    .iter()
+                    .map(|w| w.local_queue.len())
+                    .sum::<usize>();
+            tl.queue_depth.record(now, depth as f64);
+            tl.inflight.record(now, self.nic.total_outstanding() as f64);
+        }
+        match self.cfg.queue_model {
+            QueueModel::SingleQueue => {
+                if self.admission_backlog >= self.cfg.fabric.rx_ring_entries
+                    || self.pending.len() >= self.cfg.pending_cap
+                {
+                    let tx = self.req(req).tx_time;
+                    self.recorder.drop_request(tx);
+                    self.free_req(req);
+                    return;
+                }
+                self.admission_backlog += 1;
+                self.dispatcher_free =
+                    self.dispatcher_free.max(now) + self.cfg.dispatch_cost + self.cfg.client_stack;
+                self.events.push(self.dispatcher_free, Ev::Admit { req });
+            }
+            QueueModel::PerWorker | QueueModel::PerWorkerStealing => {
+                // RSS-style random steering straight into a worker queue.
+                let w = self.rng.gen_range(self.cfg.workers as u64) as usize;
+                let cap = (self.cfg.pending_cap / self.cfg.workers).max(16);
+                if self.workers[w].local_queue.len() >= cap {
+                    let tx = self.req(req).tx_time;
+                    self.recorder.drop_request(tx);
+                    self.free_req(req);
+                    return;
+                }
+                self.req(req).queued_at = now;
+                self.workers[w].local_queue.push_back(req);
+                self.try_run_local(now, w);
+            }
+        }
+    }
+
+    fn on_admit(&mut self, now: SimTime, req: usize) {
+        self.admission_backlog -= 1;
+        self.req(req).queued_at = now;
+        self.pending.push_back(req);
+        self.try_dispatch(now);
+    }
+
+    /// Algorithm 1 (PF-aware) or round-robin dispatch of pending
+    /// requests to idle workers.
+    fn try_dispatch(&mut self, now: SimTime) {
+        while !self.pending.is_empty() {
+            let Some(w) = self.pick_idle_worker() else {
+                return;
+            };
+            let req = self.pending.pop_front().expect("non-empty pending");
+            let wake =
+                self.dispatcher_free.max(now).max(self.workers[w].free_at) + self.cfg.handoff_cost;
+            self.dispatcher_free = self.dispatcher_free.max(now) + self.cfg.handoff_cost;
+            self.workers[w].busy = true;
+            self.events.push(
+                wake,
+                Ev::WorkerWake {
+                    worker: w,
+                    cont: Cont::Start { req },
+                },
+            );
+        }
+    }
+
+    fn pick_idle_worker(&mut self) -> Option<usize> {
+        match self.cfg.dispatch_policy {
+            DispatchPolicy::RoundRobin => {
+                let n = self.cfg.workers;
+                for k in 0..n {
+                    let w = (self.rr_next + k) % n;
+                    if !self.workers[w].busy {
+                        self.rr_next = (w + 1) % n;
+                        return Some(w);
+                    }
+                }
+                None
+            }
+            DispatchPolicy::PfAware => {
+                // SortByOutstandingPFCount over idle workers: take the
+                // minimum (ties by index for determinism).
+                self.workers
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, w)| !w.busy)
+                    .min_by_key(|(i, w)| (self.nic.outstanding(w.qp), *i))
+                    .map(|(i, _)| i)
+            }
+        }
+    }
+
+    /// Hermit path: a worker with a non-empty local queue starts the
+    /// head request if idle.
+    fn try_run_local(&mut self, now: SimTime, w: usize) {
+        if self.workers[w].busy || self.workers[w].local_queue.is_empty() {
+            return;
+        }
+        let req = self.workers[w].local_queue.pop_front().expect("non-empty");
+        self.workers[w].busy = true;
+        let wake = now.max(self.workers[w].free_at) + self.cfg.handoff_cost;
+        self.events.push(
+            wake,
+            Ev::WorkerWake {
+                worker: w,
+                cont: Cont::Start { req },
+            },
+        );
+    }
+
+    // ----- worker execution ---------------------------------------------
+
+    fn on_worker_wake(&mut self, now: SimTime, w: usize, cont: Cont) {
+        debug_assert!(self.workers[w].busy, "wake of an idle worker");
+        match cont {
+            Cont::Start { req } => {
+                let setup_extra = self
+                    .cfg
+                    .kernel
+                    .map(|k| k.net_stack)
+                    .unwrap_or(SimDuration::ZERO);
+                let mut t = now;
+                {
+                    let is_yield = self.cfg.fault_policy == FaultPolicy::Yield;
+                    let cfg_setup = self.cfg.request_setup;
+                    let ctx = self.cfg.ctx_switch;
+                    let cq = self.cfg.cq_poll;
+                    let r = self.req(req);
+                    r.b.queueing_ns += now.saturating_since(r.queued_at).as_nanos();
+                    r.sched_epoch = now;
+                    r.worker = w;
+                    if !r.started {
+                        r.started = true;
+                        let setup = cfg_setup + setup_extra;
+                        r.b.handling_ns += setup.as_nanos();
+                        t += setup;
+                        if is_yield {
+                            // Unithread creation + switch in, plus the
+                            // worker's CQ poll before starting new
+                            // unithreads (Figure 5).
+                            r.b.ctxswitch_ns += ctx.as_nanos() + cq.as_nanos();
+                            t += ctx + cq;
+                        }
+                    }
+                }
+                self.execute(w, req, t);
+            }
+            Cont::Resume { req } => {
+                let map = self.cfg.fault_map;
+                let ctx = self.cfg.ctx_switch;
+                let mut t = now;
+                {
+                    let r = self.req(req);
+                    // Fetch wall time is RDMA; waiting past completion is
+                    // queueing.
+                    r.b.rdma_ns += r.fetch_done_at.saturating_since(r.parked_at).as_nanos();
+                    r.b.queueing_ns += now.saturating_since(r.fetch_done_at).as_nanos();
+                    r.b.handling_ns += map.as_nanos();
+                    r.b.ctxswitch_ns += ctx.as_nanos();
+                }
+                t += map + ctx;
+                self.execute(w, req, t);
+            }
+            Cont::AfterBusyWait { req } => {
+                // Map + (on Hermit) the kernel→user return crossing.
+                let mut map = self.cfg.fault_map;
+                if let Some(k) = self.cfg.kernel {
+                    map += k.kernel_exit;
+                }
+                let mut t = now;
+                self.req(req).b.handling_ns += map.as_nanos();
+                t += map;
+                self.execute(w, req, t);
+            }
+            Cont::RetryFault { req } => {
+                let r = self.req(req);
+                r.b.queueing_ns += now.saturating_since(r.parked_at).as_nanos();
+                // Re-enter the fault for the current step's page.
+                self.execute(w, req, now);
+            }
+        }
+    }
+
+    /// Runs `req` on worker `w` from its current step at virtual time
+    /// `t`, until it blocks or completes.
+    fn execute(&mut self, w: usize, req: usize, mut t: SimTime) {
+        loop {
+            let (step_opt, do_preempt) = {
+                let interval = self.cfg.preempt_interval;
+                let preemptable = self.cfg.fault_policy == FaultPolicy::BusyWaitPreempt;
+                let r = self.req(req);
+                if r.step >= r.trace.steps.len() {
+                    (None, false)
+                } else {
+                    let over =
+                        preemptable && r.step > 0 && t.saturating_since(r.sched_epoch) >= interval;
+                    (Some(r.trace.steps[r.step]), over)
+                }
+            };
+            let Some(step) = step_opt else {
+                self.finish_request(w, req, t);
+                return;
+            };
+            if do_preempt {
+                // Concord-style probe fired: save context, re-enqueue at
+                // the tail of the central queue, pick other work.
+                self.stats.preemptions += 1;
+                let cost = self.cfg.preempt_cost;
+                {
+                    let r = self.req(req);
+                    r.b.ctxswitch_ns += cost.as_nanos();
+                    r.queued_at = t + cost;
+                }
+                t += cost;
+                self.pending.push_back(req);
+                self.worker_pick_next(w, t);
+                return;
+            }
+
+            // Compute part of the step (+ kernel interference on Hermit).
+            let mut compute = SimDuration::from_nanos(step.compute_ns as u64);
+            if let Some(k) = self.cfg.kernel {
+                let p = step.compute_ns as f64 / k.interference_period.as_nanos() as f64;
+                if p > 0.0 && self.rng.gen_bool(p.min(1.0)) {
+                    let stall = SimDuration::from_nanos(
+                        self.rng.exp(k.interference_stall.as_nanos() as f64) as u64,
+                    );
+                    self.req(req).b.queueing_ns += stall.as_nanos();
+                    compute += stall;
+                }
+            }
+            self.req(req).b.handling_ns += step.compute_ns as u64;
+            t += compute;
+
+            if let Some(access) = step.access {
+                match self.cache.lookup(access.page) {
+                    PageState::Resident => {
+                        self.cache.touch(access.page, access.write);
+                        self.req(req).step += 1;
+                    }
+                    PageState::InFlight => {
+                        self.stats.coalesced += 1;
+                        self.cache.note_coalesced();
+                        if !self.wait_on_inflight(w, req, access.page, t) {
+                            return;
+                        }
+                        // Fetch had already completed by `t`: continue as
+                        // a hit.
+                        self.cache.touch(access.page, access.write);
+                        self.req(req).step += 1;
+                    }
+                    PageState::NotResident => {
+                        if !self.fault(w, req, access.page, access.write, t) {
+                            return;
+                        }
+                        // Unreachable in practice: fault always blocks.
+                    }
+                }
+            } else {
+                self.req(req).step += 1;
+            }
+        }
+    }
+
+    /// Waits on an already-in-flight fetch. Returns `true` if the fetch
+    /// had in fact completed by `t` (caller continues inline).
+    fn wait_on_inflight(&mut self, w: usize, req: usize, page: u64, t: SimTime) -> bool {
+        let done_at = self.inflight.get(&page).expect("in-flight page").done_at;
+        if done_at <= t {
+            // The completion predates our virtual time: consume it early.
+            let info = self.inflight.get_mut(&page).expect("in-flight page");
+            if !info.completed_early {
+                info.completed_early = true;
+                self.cache.complete_fetch(page);
+            }
+            return true;
+        }
+        match self.cfg.fault_policy {
+            FaultPolicy::Yield => {
+                let ctx = self.cfg.ctx_switch;
+                let cq = self.cfg.cq_poll;
+                {
+                    let r = self.req(req);
+                    r.parked_at = t;
+                    r.worker = w;
+                }
+                self.inflight
+                    .get_mut(&page)
+                    .expect("in-flight page")
+                    .waiters
+                    .push(req);
+                self.req(req).b.ctxswitch_ns += ctx.as_nanos();
+                self.worker_pick_next(w, t + ctx + cq);
+                false
+            }
+            FaultPolicy::BusyWait | FaultPolicy::BusyWaitPreempt => {
+                let spin = done_at.since(t);
+                {
+                    let r = self.req(req);
+                    r.b.busywait_ns += spin.as_nanos();
+                    r.b.rdma_ns += spin.as_nanos();
+                }
+                self.stats.spin_ns += spin.as_nanos();
+                // FetchDone at done_at was scheduled earlier, so FIFO
+                // tie-breaking completes the page before this wake.
+                self.events.push(
+                    done_at,
+                    Ev::WorkerWake {
+                        worker: w,
+                        cont: Cont::AfterBusyWait { req },
+                    },
+                );
+                false
+            }
+        }
+    }
+
+    /// Handles a page fault. Returns `false` (always, in practice): the
+    /// request blocked and `execute` must return.
+    fn fault(&mut self, w: usize, req: usize, page: u64, _write: bool, mut t: SimTime) -> bool {
+        // Fault-handler entry (+ kernel crossing on Hermit).
+        let mut entry = self.cfg.fault_entry;
+        if let Some(k) = self.cfg.kernel {
+            entry += k.fault_entry + k.swap_work;
+        }
+        self.req(req).b.handling_ns += entry.as_nanos();
+        t += entry;
+
+        // Reserve a frame; on pressure, run direct reclaim like a real
+        // kernel would (and kick the reclaimer).
+        if !self.cache.begin_fetch(page) {
+            self.kick_reclaimer(t);
+            match self.cache.evict_one() {
+                Some((victim, dirty)) => {
+                    self.stats.direct_reclaims += 1;
+                    if dirty {
+                        self.writeback(t, victim);
+                    }
+                    let cost = self.cfg.direct_reclaim_cost;
+                    self.req(req).b.handling_ns += cost.as_nanos();
+                    t += cost;
+                    assert!(self.cache.begin_fetch(page), "evicted frame not reusable");
+                }
+                None => {
+                    // Every frame is in flight: wait briefly and retry.
+                    self.req(req).parked_at = t;
+                    self.events.push(
+                        t + SimDuration::from_nanos(500),
+                        Ev::WorkerWake {
+                            worker: w,
+                            cont: Cont::RetryFault { req },
+                        },
+                    );
+                    return false;
+                }
+            }
+        }
+        self.kick_reclaimer(t);
+
+        // Post the one-sided READ.
+        let qp = self.workers[w].qp;
+        let fetch_bytes = self.cfg.fetch_page_bytes;
+        let completion = match self.nic.post(
+            t + self.cfg.fault_issue,
+            qp,
+            Verb::Read,
+            page,
+            fetch_bytes,
+            &mut self.mem,
+        ) {
+            Ok(c) => c,
+            Err(fabric::PostError::QpFull) => {
+                // §5.2: "page fault handlers must pause, waiting for
+                // available slots in the QPs". The worker is stuck (even
+                // under the yield policy the *handler* occupies it).
+                self.stats.qp_stalls += 1;
+                // Undo the reservation: re-try will re-reserve.
+                self.cache.complete_fetch(page);
+                let evicted = self.cache.evict_one();
+                debug_assert!(evicted.is_some());
+                self.workers[w].blocked = Some((req, t));
+                self.req(req).parked_at = t;
+                return false;
+            }
+        };
+        {
+            let issue = self.cfg.fault_issue + self.cfg.prefetch_compute;
+            let r = self.req(req);
+            r.b.handling_ns += issue.as_nanos();
+        }
+        t += self.cfg.fault_issue + self.cfg.prefetch_compute;
+        self.inflight.insert(
+            page,
+            Inflight {
+                done_at: completion.done_at,
+                waiters: Vec::new(),
+                completed_early: false,
+            },
+        );
+        self.events
+            .push(completion.done_at, Ev::FetchDone { worker: w, page });
+
+        self.issue_prefetches(w, req, page, t);
+
+        match self.cfg.fault_policy {
+            FaultPolicy::Yield => {
+                // Figure 5 steps 4–7: yield to the worker, which polls
+                // its CQ once and takes the next unithread.
+                let ctx = self.cfg.ctx_switch;
+                let cq = self.cfg.cq_poll;
+                {
+                    let r = self.req(req);
+                    r.parked_at = t;
+                    r.worker = w;
+                    r.b.ctxswitch_ns += ctx.as_nanos();
+                }
+                self.inflight
+                    .get_mut(&page)
+                    .expect("just inserted")
+                    .waiters
+                    .push(req);
+                self.worker_pick_next(w, t + ctx + cq);
+            }
+            FaultPolicy::BusyWait | FaultPolicy::BusyWaitPreempt => {
+                let spin = completion.done_at.saturating_since(t);
+                {
+                    let r = self.req(req);
+                    r.b.busywait_ns += spin.as_nanos();
+                    r.b.rdma_ns += spin.as_nanos();
+                }
+                self.stats.spin_ns += spin.as_nanos();
+                let wake = completion.done_at.max(t);
+                self.events.push(
+                    wake,
+                    Ev::WorkerWake {
+                        worker: w,
+                        cont: Cont::AfterBusyWait { req },
+                    },
+                );
+            }
+        }
+        false
+    }
+
+    /// Sequential + speculative readahead (§2.3: every system overlaps a
+    /// prefetching algorithm with the fetch).
+    fn issue_prefetches(&mut self, w: usize, req: usize, page: u64, t: SimTime) {
+        let (mut stride, mut n) = self.req(req).detector.on_fault(page);
+        let spec = self.cfg.speculative_readahead > 0.0
+            && self.rng.gen_bool(self.cfg.speculative_readahead.min(1.0));
+        if n == 0 && spec {
+            (stride, n) = (1, 1);
+        }
+        let qp = self.workers[w].qp;
+        for i in 1..=n as i64 {
+            let signed = page as i64 + stride * i;
+            if signed < 0 {
+                break;
+            }
+            let p = signed as u64;
+            if p >= self.cache.total_pages() || self.cache.lookup(p) != PageState::NotResident {
+                continue;
+            }
+            if self.cache.free_frames() == 0 {
+                break;
+            }
+            assert!(self.cache.begin_fetch(p));
+            match self.nic.post(
+                t,
+                qp,
+                Verb::Read,
+                p,
+                self.cfg.fetch_page_bytes,
+                &mut self.mem,
+            ) {
+                Ok(c) => {
+                    self.stats.prefetches += 1;
+                    self.inflight.insert(
+                        p,
+                        Inflight {
+                            done_at: c.done_at,
+                            waiters: Vec::new(),
+                            completed_early: false,
+                        },
+                    );
+                    self.events
+                        .push(c.done_at, Ev::FetchDone { worker: w, page: p });
+                }
+                Err(_) => {
+                    // QP full: drop the speculative fetch.
+                    self.cache.complete_fetch(p);
+                    let evicted = self.cache.evict_one();
+                    debug_assert!(evicted.is_some());
+                    break;
+                }
+            }
+        }
+        self.kick_reclaimer(t);
+    }
+
+    fn on_fetch_done(&mut self, now: SimTime, w: usize, page: u64) {
+        self.nic.on_cqe(self.workers[w].qp);
+        if let Some(info) = self.inflight.remove(&page) {
+            if !info.completed_early {
+                self.cache.complete_fetch(page);
+            }
+            for waiter in info.waiters {
+                self.req(waiter).fetch_done_at = now;
+                if self.cfg.resume_delay > SimDuration::ZERO {
+                    // Kernel scheduler wake-up before the thread is
+                    // runnable (Infiniswap).
+                    self.events
+                        .push(now + self.cfg.resume_delay, Ev::WaiterReady { req: waiter });
+                } else {
+                    self.make_waiter_ready(now, waiter);
+                }
+            }
+        }
+        // A fault paused on this worker's full QP can retry now.
+        if let Some((req, since)) = self.workers[w].blocked.take() {
+            let spin = now.saturating_since(since);
+            {
+                let r = self.req(req);
+                r.b.busywait_ns += spin.as_nanos();
+            }
+            self.stats.spin_ns += spin.as_nanos();
+            self.events.push(
+                now,
+                Ev::WorkerWake {
+                    worker: w,
+                    cont: Cont::RetryFault { req },
+                },
+            );
+        }
+    }
+
+    fn on_waiter_ready(&mut self, now: SimTime, req: usize) {
+        self.make_waiter_ready(now, req);
+    }
+
+    fn make_waiter_ready(&mut self, now: SimTime, waiter: usize) {
+        let home = self.req(waiter).worker;
+        self.workers[home].resumes.push_back(waiter);
+        if !self.workers[home].busy {
+            self.workers[home].busy = true;
+            let wake = now.max(self.workers[home].free_at);
+            self.wake_for_next(home, wake);
+        }
+    }
+
+    /// Worker `w` is free at virtual time `t`: resume a ready unithread,
+    /// pull new work, or go idle.
+    fn worker_pick_next(&mut self, w: usize, t: SimTime) {
+        if !self.workers[w].resumes.is_empty() {
+            self.wake_for_next(w, t);
+            return;
+        }
+        match self.cfg.queue_model {
+            QueueModel::SingleQueue => {
+                if let Some(req) = self.pending.pop_front() {
+                    let wake = self.dispatcher_free.max(t) + self.cfg.handoff_cost;
+                    self.dispatcher_free = wake;
+                    self.events.push(
+                        wake,
+                        Ev::WorkerWake {
+                            worker: w,
+                            cont: Cont::Start { req },
+                        },
+                    );
+                    return;
+                }
+            }
+            QueueModel::PerWorker | QueueModel::PerWorkerStealing => {
+                if let Some(req) = self.workers[w].local_queue.pop_front() {
+                    let wake = t + self.cfg.handoff_cost;
+                    self.events.push(
+                        wake,
+                        Ev::WorkerWake {
+                            worker: w,
+                            cont: Cont::Start { req },
+                        },
+                    );
+                    return;
+                }
+                if self.cfg.queue_model == QueueModel::PerWorkerStealing {
+                    // ZygOS: steal the head of the longest peer queue,
+                    // preserving FCFS order as closely as possible.
+                    let victim = (0..self.cfg.workers)
+                        .filter(|&v| v != w)
+                        .max_by_key(|&v| self.workers[v].local_queue.len());
+                    if let Some(v) = victim {
+                        if let Some(req) = self.workers[v].local_queue.pop_front() {
+                            self.stats.steals += 1;
+                            let wake = t + self.cfg.steal_cost;
+                            self.events.push(
+                                wake,
+                                Ev::WorkerWake {
+                                    worker: w,
+                                    cont: Cont::Start { req },
+                                },
+                            );
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+        self.workers[w].busy = false;
+        self.workers[w].free_at = t;
+    }
+
+    /// Schedules the worker's next action at `t` when it has resumes
+    /// queued (used from both the worker path and FetchDone wake-ups).
+    fn wake_for_next(&mut self, w: usize, t: SimTime) {
+        let req = self.workers[w]
+            .resumes
+            .pop_front()
+            .expect("wake_for_next without resumes");
+        self.events.push(
+            t,
+            Ev::WorkerWake {
+                worker: w,
+                cont: Cont::Resume { req },
+            },
+        );
+    }
+
+    fn finish_request(&mut self, w: usize, req: usize, mut t: SimTime) {
+        let reply_bytes = {
+            let build = self.cfg.reply_build + self.cfg.client_stack;
+            let r = self.req(req);
+            r.b.handling_ns += build.as_nanos();
+            r.trace.reply_bytes
+        };
+        t += self.cfg.reply_build + self.cfg.client_stack;
+        if self.cfg.fault_policy == FaultPolicy::Yield {
+            // Switch from the unithread back to the worker.
+            let ctx = self.cfg.ctx_switch;
+            self.req(req).b.ctxswitch_ns += ctx.as_nanos();
+            t += ctx;
+        }
+        let tx = self.eth.send_reply(t, reply_bytes);
+        if self.cfg.polling_delegation {
+            // The TX CQE is raised on the dispatcher's CQ; the worker
+            // moves on immediately and the dispatcher recycles the
+            // buffer within its normal polling batches. Only the
+            // recycle *work* loads the dispatcher — the CQE's arrival
+            // time does not stall admissions (CQEs wait in the CQ).
+            self.dispatcher_free = self.dispatcher_free.max(t) + self.cfg.recycle_cost;
+        } else {
+            // The worker spins until the TX completion.
+            let spin = tx.cqe_at.saturating_since(t);
+            self.req(req).b.busywait_ns += spin.as_nanos();
+            self.stats.spin_ns += spin.as_nanos();
+            t = t.max(tx.cqe_at);
+        }
+        let (class, tx_time, b) = {
+            let r = self.req(req);
+            (r.trace.class, r.tx_time, r.b)
+        };
+        self.recorder.complete(class, tx_time, tx.client_rx_at, b);
+        self.free_req(req);
+        self.worker_pick_next(w, t);
+    }
+
+    // ----- reclaimer -----------------------------------------------------
+
+    fn kick_reclaimer(&mut self, now: SimTime) {
+        if self.reclaim_state == ReclaimState::Scheduled {
+            return;
+        }
+        let free = self.cache.free_frames();
+        if !self
+            .cfg
+            .watermarks
+            .should_start(free, self.cache.capacity())
+        {
+            return;
+        }
+        let delay = match self.cfg.reclaimer_mode {
+            ReclaimerMode::Proactive => SimDuration::ZERO,
+            ReclaimerMode::WakeUp => self.cfg.reclaim_wake_delay,
+        };
+        self.reclaim_state = ReclaimState::Scheduled;
+        self.events.push(now + delay, Ev::ReclaimTick);
+    }
+
+    fn on_reclaim_tick(&mut self, now: SimTime) {
+        let mut evicted = 0;
+        while evicted < self.cfg.reclaim_batch {
+            if self
+                .cfg
+                .watermarks
+                .may_stop(self.cache.free_frames(), self.cache.capacity())
+            {
+                break;
+            }
+            match self.cache.evict_one() {
+                Some((page, dirty)) => {
+                    if dirty {
+                        self.writeback(now, page);
+                    }
+                    evicted += 1;
+                }
+                None => break,
+            }
+        }
+        let free = self.cache.free_frames();
+        if !self.cfg.watermarks.may_stop(free, self.cache.capacity()) && evicted > 0 {
+            let batch_time = self.cfg.evict_cost.saturating_mul(evicted as u64);
+            self.events.push(now + batch_time, Ev::ReclaimTick);
+        } else {
+            self.reclaim_state = ReclaimState::Idle;
+        }
+    }
+
+    fn writeback(&mut self, now: SimTime, page: u64) {
+        // Write-behind on the reclaimer's dedicated QP; the frame is
+        // reused immediately (the model keeps page contents host-side).
+        // The QP's bounded depth paces write-back bursts — without it a
+        // reclaim cycle would dump thousands of WRITEs into the shared
+        // WQE engine and stall page fetches behind them.
+        let qp = QpId(self.cfg.workers as u32);
+        match self.nic.post(
+            now,
+            qp,
+            Verb::Write,
+            page,
+            self.cfg.fetch_page_bytes,
+            &mut self.mem,
+        ) {
+            Ok(c) => {
+                self.stats.writebacks += 1;
+                self.events.push(c.done_at, Ev::WriteDone);
+            }
+            Err(fabric::PostError::QpFull) => {
+                self.deferred_writebacks.push_back(page);
+            }
+        }
+    }
+
+    fn on_write_done(&mut self, now: SimTime) {
+        self.nic.on_cqe(QpId(self.cfg.workers as u32));
+        if let Some(page) = self.deferred_writebacks.pop_front() {
+            self.writeback(now, page);
+        }
+    }
+}
+
+/// Convenience: build and run one experiment.
+pub fn run_one(cfg: SystemConfig, workload: &mut dyn Workload, params: RunParams) -> RunResult {
+    Simulation::new(cfg, workload, params).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemKind;
+    use crate::workload::ArrayIndexWorkload;
+
+    /// A small working set so tests run fast: 16 Ki pages, 20 % local.
+    fn small_workload() -> ArrayIndexWorkload {
+        ArrayIndexWorkload::new(16_384)
+    }
+
+    fn quick_params(rps: f64) -> RunParams {
+        RunParams {
+            offered_rps: rps,
+            seed: 42,
+            warmup: SimDuration::from_millis(2),
+            measure: SimDuration::from_millis(10),
+            local_mem_fraction: 0.2,
+            keep_breakdowns: false,
+            burst: None,
+            timeline_bucket: None,
+        }
+    }
+
+    fn run(kind: SystemKind, rps: f64) -> RunResult {
+        let mut w = small_workload();
+        run_one(SystemConfig::for_kind(kind), &mut w, quick_params(rps))
+    }
+
+    #[test]
+    fn low_load_latency_is_microsecond_scale() {
+        for kind in [SystemKind::Dilos, SystemKind::Adios] {
+            let res = run(kind, 100_000.0);
+            let p50 = res.recorder.overall().percentile(50.0);
+            assert!(
+                (1_000..20_000).contains(&p50),
+                "{}: p50 = {p50} ns",
+                kind.name()
+            );
+            assert_eq!(res.recorder.dropped(), 0, "{}", kind.name());
+            assert!(res.recorder.completed_in_window() > 500);
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_results() {
+        let a = run(SystemKind::Adios, 500_000.0);
+        let b = run(SystemKind::Adios, 500_000.0);
+        assert_eq!(
+            a.recorder.completed_in_window(),
+            b.recorder.completed_in_window()
+        );
+        assert_eq!(
+            a.recorder.overall().percentile(99.0),
+            b.recorder.overall().percentile(99.0)
+        );
+        assert_eq!(a.stats.prefetches, b.stats.prefetches);
+    }
+
+    #[test]
+    fn adios_beats_dilos_at_high_load() {
+        // Past DiLOS' saturation point, Adios must deliver both more
+        // throughput and a dramatically lower tail (the paper's headline
+        // result).
+        let dilos = run(SystemKind::Dilos, 2_200_000.0);
+        let adios = run(SystemKind::Adios, 2_200_000.0);
+        assert!(
+            adios.recorder.achieved_rps() > dilos.recorder.achieved_rps() * 1.2,
+            "throughput: adios {} vs dilos {}",
+            adios.recorder.achieved_rps(),
+            dilos.recorder.achieved_rps()
+        );
+    }
+
+    #[test]
+    fn adios_spin_time_is_negligible() {
+        let dilos = run(SystemKind::Dilos, 1_200_000.0);
+        let adios = run(SystemKind::Adios, 1_200_000.0);
+        assert!(
+            dilos.spin_fraction() > 0.2,
+            "dilos spin fraction = {}",
+            dilos.spin_fraction()
+        );
+        assert!(
+            adios.spin_fraction() < 0.05,
+            "adios spin fraction = {}",
+            adios.spin_fraction()
+        );
+    }
+
+    #[test]
+    fn rdma_utilization_higher_for_adios() {
+        let dilos = run(SystemKind::Dilos, 2_500_000.0);
+        let adios = run(SystemKind::Adios, 2_500_000.0);
+        assert!(
+            adios.rdma_data_util > dilos.rdma_data_util * 1.2,
+            "util: adios {} vs dilos {}",
+            adios.rdma_data_util,
+            dilos.rdma_data_util
+        );
+    }
+
+    #[test]
+    fn hermit_is_slowest() {
+        let hermit = run(SystemKind::Hermit, 1_200_000.0);
+        let dilos = run(SystemKind::Dilos, 1_200_000.0);
+        assert!(
+            hermit.recorder.achieved_rps() < dilos.recorder.achieved_rps(),
+            "hermit {} vs dilos {}",
+            hermit.recorder.achieved_rps(),
+            dilos.recorder.achieved_rps()
+        );
+        assert!(
+            hermit.recorder.overall().percentile(99.9) > dilos.recorder.overall().percentile(99.9),
+            "hermit tail should be worse"
+        );
+    }
+
+    #[test]
+    fn all_local_memory_means_no_fetches() {
+        let mut params = quick_params(500_000.0);
+        params.local_mem_fraction = 1.0;
+        let mut w = small_workload();
+        let res = run_one(SystemConfig::adios(), &mut w, params);
+        assert_eq!(res.cache.misses, 0);
+        assert_eq!(res.stats.prefetches, 0);
+        assert!(res.rdma_data_util < 1e-6);
+        assert!(res.recorder.completed_in_window() > 1000);
+    }
+
+    #[test]
+    fn overload_drops_requests_and_caps_throughput() {
+        let res = run(SystemKind::Dilos, 5_000_000.0);
+        assert!(res.recorder.dropped() > 0, "expected drops at 5 MRPS");
+        let achieved = res.recorder.achieved_rps();
+        assert!(
+            achieved < 3_000_000.0,
+            "achieved {achieved} should be capped by saturation"
+        );
+    }
+
+    #[test]
+    fn preemption_happens_only_in_dilos_p() {
+        // A long-compute workload (SCAN-like) to give probes a chance.
+        struct LongCompute;
+        impl Workload for LongCompute {
+            fn classes(&self) -> &'static [&'static str] {
+                &["long"]
+            }
+            fn total_pages(&self) -> u64 {
+                4096
+            }
+            fn next_request(&mut self, rng: &mut Rng) -> Trace {
+                let steps = (0..20)
+                    .map(|_| paging::trace::Step {
+                        compute_ns: 1_000,
+                        access: Some(paging::trace::Access {
+                            page: rng.gen_range(4096),
+                            write: false,
+                        }),
+                    })
+                    .collect();
+                Trace {
+                    class: 0,
+                    steps,
+                    request_bytes: 64,
+                    reply_bytes: 64,
+                }
+            }
+        }
+        let params = quick_params(50_000.0);
+        let p = run_one(SystemConfig::dilos_p(), &mut LongCompute, params.clone());
+        let d = run_one(SystemConfig::dilos(), &mut LongCompute, params);
+        assert!(p.stats.preemptions > 0, "DiLOS-P must preempt long scans");
+        assert_eq!(d.stats.preemptions, 0, "DiLOS never preempts");
+    }
+
+    #[test]
+    fn breakdown_components_populated() {
+        let mut params = quick_params(1_000_000.0);
+        params.keep_breakdowns = true;
+        let mut w = small_workload();
+        let mut res = run_one(SystemConfig::dilos(), &mut w, params.clone());
+        let p50 = res.recorder.breakdown_at(50.0);
+        assert!(p50.mean.handling_ns > 0.0);
+        // 80 % of requests fault; at P50 the fetch shows up.
+        assert!(p50.mean.rdma_ns > 0.0);
+
+        let mut w2 = small_workload();
+        let mut adios = run_one(SystemConfig::adios(), &mut w2, params);
+        let a99 = adios.breakdown99();
+        assert!(a99.mean.busywait_ns < 100.0, "adios must not spin: {a99:?}");
+    }
+
+    impl RunResult {
+        fn breakdown99(&mut self) -> loadgen::record::BreakdownAt {
+            self.recorder.breakdown_at(99.0)
+        }
+    }
+
+    #[test]
+    fn writebacks_happen_with_dirty_pages() {
+        struct WriteHeavy;
+        impl Workload for WriteHeavy {
+            fn classes(&self) -> &'static [&'static str] {
+                &["write"]
+            }
+            fn total_pages(&self) -> u64 {
+                8192
+            }
+            fn next_request(&mut self, rng: &mut Rng) -> Trace {
+                Trace {
+                    class: 0,
+                    steps: vec![paging::trace::Step {
+                        compute_ns: 300,
+                        access: Some(paging::trace::Access {
+                            page: rng.gen_range(8192),
+                            write: true,
+                        }),
+                    }],
+                    request_bytes: 64,
+                    reply_bytes: 64,
+                }
+            }
+        }
+        let res = run_one(
+            SystemConfig::adios(),
+            &mut WriteHeavy,
+            quick_params(500_000.0),
+        );
+        assert!(res.stats.writebacks > 0, "dirty evictions must write back");
+        assert!(res.rdma_ctrl_util > 0.0);
+    }
+
+    #[test]
+    fn qp_depth_one_forces_handler_pauses() {
+        let mut cfg = SystemConfig::adios();
+        cfg.fabric.qp_depth = 1;
+        let mut w = small_workload();
+        let res = run_one(cfg, &mut w, quick_params(1_500_000.0));
+        assert!(
+            res.stats.qp_stalls > 0,
+            "depth-1 QPs must pause the fault handler (§5.2 mechanism)"
+        );
+        assert!(
+            res.recorder.completed_in_window() > 1_000,
+            "still makes progress"
+        );
+    }
+
+    #[test]
+    fn hot_page_faults_coalesce() {
+        // Every request hits the same handful of pages: concurrent
+        // faults must wait on the in-flight fetch, not duplicate it.
+        struct HotPages;
+        impl Workload for HotPages {
+            fn classes(&self) -> &'static [&'static str] {
+                &["hot"]
+            }
+            fn total_pages(&self) -> u64 {
+                4096
+            }
+            fn next_request(&mut self, rng: &mut Rng) -> Trace {
+                Trace {
+                    class: 0,
+                    steps: vec![paging::trace::Step {
+                        compute_ns: 300,
+                        access: Some(paging::trace::Access {
+                            page: rng.gen_range(4), // 4 hot pages
+                            write: false,
+                        }),
+                    }],
+                    request_bytes: 32,
+                    reply_bytes: 32,
+                }
+            }
+            fn warm_pages(&self) -> Option<Vec<u64>> {
+                Some(vec![4000, 4001]) // keep the hot pages cold initially
+            }
+        }
+        let mut params = quick_params(2_000_000.0);
+        params.local_mem_fraction = 0.05;
+        let res = run_one(SystemConfig::adios(), &mut HotPages, params);
+        assert!(
+            res.stats.coalesced > 0,
+            "concurrent faults on hot pages must coalesce"
+        );
+        // Far fewer fetches than requests: the hot set stays resident.
+        assert!(res.cache.misses < res.recorder.completed_in_window() / 10);
+    }
+
+    #[test]
+    fn stealing_happens_and_is_counted() {
+        let cfg = SystemConfig {
+            queue_model: QueueModel::PerWorkerStealing,
+            ..SystemConfig::adios()
+        };
+        let mut w = small_workload();
+        let res = run_one(cfg, &mut w, quick_params(1_500_000.0));
+        assert!(
+            res.stats.steals > 0,
+            "random steering must imbalance queues"
+        );
+    }
+
+    #[test]
+    fn infiniswap_resume_delay_slows_remote_requests() {
+        let mut w = small_workload();
+        let inf = run_one(SystemConfig::infiniswap(), &mut w, quick_params(150_000.0));
+        let adios = run_one(SystemConfig::adios(), &mut w, quick_params(150_000.0));
+        let (i50, a50) = (
+            inf.recorder.overall().percentile(50.0),
+            adios.recorder.overall().percentile(50.0),
+        );
+        assert!(
+            i50 > a50 * 4,
+            "kernel wake-up delay must dominate: infiniswap {i50} vs adios {a50}"
+        );
+        assert!(inf.spin_fraction() < 0.05, "infiniswap yields, never spins");
+    }
+
+    #[test]
+    fn timeline_records_queue_dynamics() {
+        let mut params = quick_params(1_800_000.0);
+        params.timeline_bucket = Some(SimDuration::from_micros(100));
+        let mut w = small_workload();
+        let res = run_one(SystemConfig::dilos(), &mut w, params);
+        let tl = res.timeline.expect("timeline requested");
+        assert!(tl.queue_depth.samples() > 1_000);
+        assert!(tl.inflight.global_max() >= 1.0);
+        assert!(!tl.queue_depth.means().is_empty());
+    }
+
+    #[test]
+    fn huge_page_fetches_inflate_latency() {
+        let mut cfg = SystemConfig::adios();
+        cfg.fetch_page_bytes = 2 * 1024 * 1024;
+        cfg.speculative_readahead = 0.0;
+        cfg.prefetcher = crate::config::PrefetcherKind::None;
+        // Below the 2 MB variant's (tiny) link capacity, so remote
+        // requests actually complete and dominate the median.
+        let mut w = small_workload();
+        let huge = run_one(cfg, &mut w, quick_params(8_000.0));
+        let small = run_one(SystemConfig::adios(), &mut w, quick_params(8_000.0));
+        assert!(
+            huge.recorder.overall().percentile(50.0)
+                > small.recorder.overall().percentile(50.0) * 10,
+            "512x I/O amplification must show: {} vs {}",
+            huge.recorder.overall().percentile(50.0),
+            small.recorder.overall().percentile(50.0)
+        );
+    }
+
+    #[test]
+    fn near_zero_load_runs_cleanly() {
+        // A window that may see zero or a handful of arrivals must not
+        // wedge the event loop or the utilisation accounting.
+        let mut w = small_workload();
+        let res = run_one(SystemConfig::adios(), &mut w, quick_params(100.0));
+        assert_eq!(res.recorder.dropped(), 0);
+        assert!(res.rdma_data_util < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let cfg = SystemConfig {
+            workers: 0,
+            ..SystemConfig::adios()
+        };
+        let mut w = small_workload();
+        let _ = run_one(cfg, &mut w, quick_params(1_000.0));
+    }
+
+    #[test]
+    fn conservation_completed_plus_dropped() {
+        let res = run(SystemKind::Adios, 800_000.0);
+        // Within the measurement window, throughput ≈ offered − drops.
+        let offered_in_window = res.offered_rps * res.window.as_secs_f64();
+        let acc = res.recorder.completed_in_window() + res.recorder.dropped();
+        let ratio = acc as f64 / offered_in_window;
+        assert!(
+            (0.95..=1.05).contains(&ratio),
+            "conservation ratio {ratio} (completed+dropped {acc} vs offered {offered_in_window})"
+        );
+    }
+}

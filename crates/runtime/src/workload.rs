@@ -1,0 +1,310 @@
+//! The workload abstraction and the paper's microbenchmark.
+
+use desim::Rng;
+use paging::trace::{Access, Step, Trace};
+
+/// A request source: produces one [`Trace`] per request.
+///
+/// Application crates implement this by executing a real request
+/// against their [`paging::PagedArena`]-backed data structures and
+/// recording the page touches; the simulator replays the trace.
+pub trait Workload {
+    /// Human-readable names of the request classes (index = `class`).
+    fn classes(&self) -> &'static [&'static str];
+
+    /// Number of pages in the working set (the remote region size).
+    fn total_pages(&self) -> u64;
+
+    /// Produces the next request's trace.
+    fn next_request(&mut self, rng: &mut Rng) -> Trace;
+
+    /// Pages that should be resident at steady state, used to warm the
+    /// cache; `None` (default) means a uniform random sample.
+    fn warm_pages(&self) -> Option<Vec<u64>> {
+        None
+    }
+}
+
+/// The paper's microbenchmark (§2, §5.1): clients send a random index
+/// into a large array; the node replies with the value at that index.
+///
+/// One random page access per request, bimodal service time at a 20 %
+/// local-memory ratio: ~0.85 µs when local, ~5.3 µs when remote.
+#[derive(Debug, Clone)]
+pub struct ArrayIndexWorkload {
+    total_pages: u64,
+    parse_ns: f64,
+    reply_ns: f64,
+    request_bytes: u32,
+    reply_bytes: u32,
+}
+
+impl ArrayIndexWorkload {
+    /// Creates the workload over an array of `total_pages` 4 KB pages.
+    pub fn new(total_pages: u64) -> ArrayIndexWorkload {
+        ArrayIndexWorkload {
+            total_pages,
+            parse_ns: 250.0,
+            reply_ns: 200.0,
+            request_bytes: 32,
+            reply_bytes: 64,
+        }
+    }
+
+    /// The paper's 40 GB array.
+    pub fn paper_scale() -> ArrayIndexWorkload {
+        ArrayIndexWorkload::new(40 * (1 << 30) / paging::PAGE_SIZE)
+    }
+}
+
+impl Workload for ArrayIndexWorkload {
+    fn classes(&self) -> &'static [&'static str] {
+        &["lookup"]
+    }
+
+    fn total_pages(&self) -> u64 {
+        self.total_pages
+    }
+
+    fn next_request(&mut self, rng: &mut Rng) -> Trace {
+        let page = rng.gen_range(self.total_pages);
+        Trace {
+            class: 0,
+            steps: vec![
+                Step {
+                    compute_ns: self.parse_ns as u32,
+                    access: Some(Access { page, write: false }),
+                },
+                Step {
+                    compute_ns: self.reply_ns as u32,
+                    access: None,
+                },
+            ],
+            request_bytes: self.request_bytes,
+            reply_bytes: self.reply_bytes,
+        }
+    }
+}
+
+/// A strided-access workload: each request walks `touches` pages with a
+/// fixed page `stride` from a random start.
+///
+/// Plain next-page readahead never fires on it (the deltas are not +1),
+/// while Leap's majority-trend prefetcher locks onto the stride after a
+/// few faults — the prefetcher-policy ablation's workload.
+#[derive(Debug, Clone)]
+pub struct StridedWorkload {
+    total_pages: u64,
+    stride: u64,
+    touches: u32,
+}
+
+impl StridedWorkload {
+    /// Creates the workload over `total_pages`, reading `touches` pages
+    /// `stride` apart per request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a walk cannot fit in the working set.
+    pub fn new(total_pages: u64, stride: u64, touches: u32) -> StridedWorkload {
+        assert!(
+            stride * touches as u64 * 2 < total_pages,
+            "walk does not fit the working set"
+        );
+        StridedWorkload {
+            total_pages,
+            stride,
+            touches,
+        }
+    }
+}
+
+impl Workload for StridedWorkload {
+    fn classes(&self) -> &'static [&'static str] {
+        &["walk"]
+    }
+
+    fn total_pages(&self) -> u64 {
+        self.total_pages
+    }
+
+    fn next_request(&mut self, rng: &mut Rng) -> Trace {
+        let span = self.stride * self.touches as u64;
+        let start = rng.gen_range(self.total_pages - span);
+        let mut steps: Vec<Step> = (0..self.touches)
+            .map(|i| Step {
+                compute_ns: 220,
+                access: Some(Access {
+                    page: start + i as u64 * self.stride,
+                    write: false,
+                }),
+            })
+            .collect();
+        steps.push(Step {
+            compute_ns: 180,
+            access: None,
+        });
+        Trace {
+            class: 0,
+            steps,
+            request_bytes: 32,
+            reply_bytes: 64,
+        }
+    }
+}
+
+/// Two workloads co-located on one node (the multi-application setting
+/// Canvas [§1] targets): requests are drawn from `b` with probability
+/// `fraction_b`, otherwise from `a`. Their page namespaces are disjoint
+/// (`b`'s pages are offset past `a`'s working set) and their request
+/// classes are concatenated, so per-tenant latency remains visible.
+pub struct MixedWorkload<A, B> {
+    a: A,
+    b: B,
+    fraction_b: f64,
+    classes: &'static [&'static str],
+}
+
+impl<A: Workload, B: Workload> MixedWorkload<A, B> {
+    /// Co-locates `a` and `b`; `fraction_b` of requests go to `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction_b` is outside `[0, 1]`.
+    pub fn new(a: A, b: B, fraction_b: f64) -> MixedWorkload<A, B> {
+        assert!((0.0..=1.0).contains(&fraction_b));
+        // The Workload trait hands out 'static class tables; build the
+        // concatenation once per mix (leaked: a handful of pointers per
+        // experiment configuration).
+        let combined: Vec<&'static str> =
+            a.classes().iter().chain(b.classes()).copied().collect();
+        MixedWorkload {
+            classes: Box::leak(combined.into_boxed_slice()),
+            a,
+            b,
+            fraction_b,
+        }
+    }
+
+    /// Class index of tenant `b`'s class `i` in the combined table.
+    pub fn b_class(&self, i: u16) -> u16 {
+        self.a.classes().len() as u16 + i
+    }
+}
+
+impl<A: Workload, B: Workload> Workload for MixedWorkload<A, B> {
+    fn classes(&self) -> &'static [&'static str] {
+        self.classes
+    }
+
+    fn total_pages(&self) -> u64 {
+        self.a.total_pages() + self.b.total_pages()
+    }
+
+    fn next_request(&mut self, rng: &mut Rng) -> Trace {
+        if rng.gen_bool(self.fraction_b) {
+            let mut t = self.b.next_request(rng);
+            // Shift tenant b into its own page namespace and class range.
+            let offset = self.a.total_pages();
+            for step in &mut t.steps {
+                if let Some(a) = &mut step.access {
+                    a.page += offset;
+                }
+            }
+            t.class += self.a.classes().len() as u16;
+            t
+        } else {
+            self.a.next_request(rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strided_walks_have_constant_stride() {
+        let mut w = StridedWorkload::new(100_000, 7, 12);
+        let mut rng = Rng::new(4);
+        let t = w.next_request(&mut rng);
+        let pages: Vec<u64> = t
+            .steps
+            .iter()
+            .filter_map(|s| s.access.map(|a| a.page))
+            .collect();
+        assert_eq!(pages.len(), 12);
+        assert!(pages.windows(2).all(|p| p[1] - p[0] == 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_walk_panics() {
+        StridedWorkload::new(100, 10, 10);
+    }
+
+    #[test]
+    fn mixed_workload_partitions_namespaces() {
+        let a = ArrayIndexWorkload::new(1_000);
+        let b = ArrayIndexWorkload::new(2_000);
+        let mut m = MixedWorkload::new(a, b, 0.5);
+        assert_eq!(m.total_pages(), 3_000);
+        assert_eq!(m.classes(), &["lookup", "lookup"]);
+        let mut rng = Rng::new(9);
+        let (mut from_a, mut from_b) = (0, 0);
+        for _ in 0..2_000 {
+            let t = m.next_request(&mut rng);
+            let page = t.steps[0].access.unwrap().page;
+            if t.class == 0 {
+                assert!(page < 1_000, "tenant a stays in its namespace");
+                from_a += 1;
+            } else {
+                assert!((1_000..3_000).contains(&page), "tenant b offset");
+                from_b += 1;
+            }
+        }
+        assert!(from_a > 800 && from_b > 800, "{from_a}/{from_b}");
+    }
+
+    #[test]
+    #[should_panic(expected = "0.0..=1.0")]
+    fn mixed_rejects_bad_fraction() {
+        MixedWorkload::new(
+            ArrayIndexWorkload::new(100),
+            ArrayIndexWorkload::new(100),
+            1.5,
+        );
+    }
+
+    #[test]
+    fn microbench_touches_one_uniform_page() {
+        let mut w = ArrayIndexWorkload::new(1000);
+        let mut rng = Rng::new(1);
+        let mut pages = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            let t = w.next_request(&mut rng);
+            assert_eq!(t.accesses(), 1);
+            let page = t.steps[0].access.unwrap().page;
+            assert!(page < 1000);
+            pages.insert(page);
+        }
+        // Uniform over 1000 pages: 2000 draws should hit most of them.
+        assert!(pages.len() > 750, "only {} distinct pages", pages.len());
+    }
+
+    #[test]
+    fn paper_scale_is_40gb() {
+        let w = ArrayIndexWorkload::paper_scale();
+        assert_eq!(w.total_pages(), 10 * 1024 * 1024);
+    }
+
+    #[test]
+    fn compute_matches_local_service_target() {
+        // Local hits: parse + reply + per-request setup/reply costs in
+        // the runtime should land near the paper's 0.85 µs local
+        // service time. The trace itself carries 450 ns.
+        let mut w = ArrayIndexWorkload::new(10);
+        let t = w.next_request(&mut Rng::new(2));
+        assert_eq!(t.compute_ns(), 450);
+    }
+}

@@ -1,0 +1,235 @@
+//! The 80-byte unithread context and its switch.
+//!
+//! The paper (§3.2, Table 1): "a unithread context only includes one
+//! argument register and five callee-saved registers (`rbp`, `rip`,
+//! `rsp`, `mxcsr`, and `fpucw`). The rest of the registers, including
+//! floating point registers, are stored in the caller's stack frame if
+//! necessary; hence, there is no need to save and restore them."
+//!
+//! Because the switch is an `extern "C"` call, the compiler spills any
+//! live caller-saved register around it; the switch itself only has to
+//! preserve what the SysV ABI makes *callee*-saved: `rbx`, `rbp`,
+//! `r12`–`r15`, the stack pointer, the resume address, and the two
+//! floating-point control words. With the argument register that is
+//! exactly ten 8-byte slots — 80 bytes, matching Table 1.
+
+use std::arch::global_asm;
+
+/// Saved execution state of a unithread (80 bytes, see Table 1).
+#[repr(C, align(16))]
+#[derive(Debug, Clone, Copy)]
+pub struct Context {
+    /// Stack pointer at suspension.
+    pub rsp: u64,
+    /// Frame pointer.
+    pub rbp: u64,
+    /// Callee-saved `rbx`.
+    pub rbx: u64,
+    /// Callee-saved `r12`.
+    pub r12: u64,
+    /// Callee-saved `r13`.
+    pub r13: u64,
+    /// Callee-saved `r14`.
+    pub r14: u64,
+    /// Callee-saved `r15`.
+    pub r15: u64,
+    /// Resume instruction pointer.
+    pub rip: u64,
+    /// SSE control/status (`mxcsr`, low 4 bytes) and x87 control word
+    /// (`fpucw`, bytes 4–5).
+    pub fp_control: u64,
+    /// First-argument register (`rdi`), used to pass the entry argument
+    /// to a fresh thread.
+    pub arg: u64,
+}
+
+const _: () = assert!(std::mem::size_of::<Context>() == 80, "Table 1: 80 B");
+
+impl Context {
+    /// An all-zero context; must be initialised with [`Context::prepare`]
+    /// or by being the *save* side of a switch before being resumed.
+    pub const fn zeroed() -> Context {
+        Context {
+            rsp: 0,
+            rbp: 0,
+            rbx: 0,
+            r12: 0,
+            r13: 0,
+            r14: 0,
+            r15: 0,
+            rip: 0,
+            fp_control: 0,
+            arg: 0,
+        }
+    }
+
+    /// Prepares a fresh context that will begin executing `entry(arg)`
+    /// on the stack whose *exclusive* top is `stack_top`.
+    ///
+    /// The entry function must never return (it must switch away
+    /// permanently instead); this is enforced by its `-> !` type.
+    ///
+    /// # Safety contract (checked at switch time, not here)
+    ///
+    /// `stack_top` must point past a writable region large enough for
+    /// `entry`'s frames; see [`switch`].
+    pub fn prepare(entry: extern "C" fn(u64) -> !, arg: u64, stack_top: *mut u8) -> Context {
+        // SysV: at function entry (after `call`), rsp % 16 == 8. We enter
+        // via `jmp`, so bias the initial stack the same way.
+        let top = (stack_top as u64) & !0xF;
+        let mut ctx = Context::zeroed();
+        ctx.rsp = top - 8;
+        ctx.rip = entry as usize as u64;
+        ctx.arg = arg;
+        // Default x87 control word (0x037F) and mxcsr (0x1F80).
+        ctx.fp_control = 0x1F80 | (0x037F << 32);
+        ctx
+    }
+}
+
+global_asm!(
+    r#"
+    .global unithread_switch_asm
+    .p2align 4
+// unithread_switch_asm(save: *mut Context [rdi], resume: *const Context [rsi])
+//
+// Saves the callee-saved state of the caller into *save, then restores
+// *resume and jumps to its rip with its arg in rdi.
+unithread_switch_asm:
+    // Save side.
+    mov     [rdi + 0x08], rbp
+    mov     [rdi + 0x10], rbx
+    mov     [rdi + 0x18], r12
+    mov     [rdi + 0x20], r13
+    mov     [rdi + 0x28], r14
+    mov     [rdi + 0x30], r15
+    mov     rax, [rsp]              // return address = resume rip
+    mov     [rdi + 0x38], rax
+    lea     rax, [rsp + 8]          // rsp as if we had returned
+    mov     [rdi + 0x00], rax
+    stmxcsr [rdi + 0x40]
+    fnstcw  [rdi + 0x44]
+
+    // Restore side.
+    ldmxcsr [rsi + 0x40]
+    fldcw   [rsi + 0x44]
+    mov     rbp, [rsi + 0x08]
+    mov     rbx, [rsi + 0x10]
+    mov     r12, [rsi + 0x18]
+    mov     r13, [rsi + 0x20]
+    mov     r14, [rsi + 0x28]
+    mov     r15, [rsi + 0x30]
+    mov     rsp, [rsi + 0x00]
+    mov     rdi, [rsi + 0x48]       // argument register
+    mov     rax, [rsi + 0x38]
+    jmp     rax
+"#
+);
+
+extern "C" {
+    fn unithread_switch_asm(save: *mut Context, resume: *const Context);
+}
+
+/// Switches from the current execution to the one stored in `resume`,
+/// saving the current one into `save`.
+///
+/// Control returns from this call when something later switches back to
+/// `save`.
+///
+/// # Safety
+///
+/// - `save` must be valid for writes and `resume` valid for reads, and
+///   they must not alias.
+/// - `resume` must hold either a context captured by a previous switch
+///   or one built by [`Context::prepare`] over a live, sufficiently
+///   large stack.
+/// - The memory behind `resume`'s stack must stay allocated until that
+///   execution completes or is switched away from.
+#[inline]
+pub unsafe fn switch(save: *mut Context, resume: *const Context) {
+    // SAFETY: contract forwarded to the caller; the asm only touches the
+    // two context blocks and ABI-visible registers.
+    unsafe { unithread_switch_asm(save, resume) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn context_is_80_bytes() {
+        assert_eq!(std::mem::size_of::<Context>(), 80);
+    }
+
+    thread_local! {
+        static MAIN_CTX: Cell<*mut Context> = const { Cell::new(std::ptr::null_mut()) };
+        static THREAD_CTX: Cell<*mut Context> = const { Cell::new(std::ptr::null_mut()) };
+        static COUNTER: Cell<u64> = const { Cell::new(0) };
+    }
+
+    extern "C" fn bouncer(arg: u64) -> ! {
+        // Keep callee-saved state live across switches.
+        let mut acc = arg;
+        loop {
+            acc = acc.wrapping_mul(3).wrapping_add(1);
+            COUNTER.with(|c| c.set(acc));
+            // SAFETY: both contexts are installed by the test below and
+            // outlive the ping-pong.
+            unsafe {
+                switch(THREAD_CTX.with(|c| c.get()), MAIN_CTX.with(|c| c.get()));
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_preserves_state() {
+        let mut stack = vec![0u8; 64 * 1024];
+        let stack_top = unsafe { stack.as_mut_ptr().add(stack.len()) };
+        let mut main_ctx = Context::zeroed();
+        let mut thread_ctx = Context::prepare(bouncer, 7, stack_top);
+        MAIN_CTX.with(|c| c.set(&mut main_ctx));
+        THREAD_CTX.with(|c| c.set(&mut thread_ctx));
+
+        let mut expect = 7u64;
+        for _ in 0..100 {
+            // SAFETY: contexts and stack live for the whole test.
+            unsafe { switch(&mut main_ctx, &thread_ctx) };
+            expect = expect.wrapping_mul(3).wrapping_add(1);
+            assert_eq!(COUNTER.with(|c| c.get()), expect);
+        }
+    }
+
+    extern "C" fn float_worker(_arg: u64) -> ! {
+        let mut x = 1.0f64;
+        loop {
+            x = (x * 1.5 + 0.25).sqrt();
+            COUNTER.with(|c| c.set(x.to_bits()));
+            // SAFETY: as in `bouncer`.
+            unsafe {
+                switch(THREAD_CTX.with(|c| c.get()), MAIN_CTX.with(|c| c.get()));
+            }
+        }
+    }
+
+    #[test]
+    fn float_state_correct_across_switches() {
+        let mut stack = vec![0u8; 64 * 1024];
+        let stack_top = unsafe { stack.as_mut_ptr().add(stack.len()) };
+        let mut main_ctx = Context::zeroed();
+        let mut thread_ctx = Context::prepare(float_worker, 0, stack_top);
+        MAIN_CTX.with(|c| c.set(&mut main_ctx));
+        THREAD_CTX.with(|c| c.set(&mut thread_ctx));
+
+        let mut expect = 1.0f64;
+        for _ in 0..50 {
+            // Do float work on the main side too, so both sides carry
+            // live FP state across the boundary.
+            let noise = (expect + 3.0).ln();
+            unsafe { switch(&mut main_ctx, &thread_ctx) };
+            expect = (expect * 1.5 + 0.25).sqrt();
+            assert_eq!(COUNTER.with(|c| c.get()), expect.to_bits());
+            assert!(noise.is_finite());
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Cycle-accurate switch measurement (Table 1).
+//!
+//! The paper measures context-switch cost in cycles with `rdtsc` on the
+//! compute node. This module runs the same microbenchmark natively:
+//! a tight ping-pong between a main context and one thread context,
+//! reporting cycles per one-way switch.
+
+use std::cell::Cell;
+
+use crate::context::{self, Context};
+use crate::heavy::{self, HeavyContext};
+
+/// Reads the time-stamp counter.
+#[inline]
+pub fn rdtsc() -> u64 {
+    // SAFETY: `rdtsc` has no preconditions on x86-64.
+    unsafe { core::arch::x86_64::_rdtsc() }
+}
+
+/// Result of a switch microbenchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct SwitchCost {
+    /// Cycles per one-way context switch (median of batches).
+    pub cycles_per_switch: f64,
+    /// Context size in bytes.
+    pub context_bytes: usize,
+}
+
+thread_local! {
+    static PING_MAIN: Cell<*mut Context> = const { Cell::new(std::ptr::null_mut()) };
+    static PING_SELF: Cell<*mut Context> = const { Cell::new(std::ptr::null_mut()) };
+    static HPING_MAIN: Cell<*mut HeavyContext> = const { Cell::new(std::ptr::null_mut()) };
+    static HPING_SELF: Cell<*mut HeavyContext> = const { Cell::new(std::ptr::null_mut()) };
+}
+
+extern "C" fn ping_entry(_arg: u64) -> ! {
+    loop {
+        // SAFETY: the measurement function installs both pointers and
+        // keeps the contexts alive for the whole run.
+        unsafe {
+            context::switch(PING_SELF.with(|c| c.get()), PING_MAIN.with(|c| c.get()));
+        }
+    }
+}
+
+extern "C" fn hping_entry(_arg: u64) -> ! {
+    loop {
+        // SAFETY: as in `ping_entry`.
+        unsafe {
+            heavy::heavy_switch(HPING_SELF.with(|c| c.get()), HPING_MAIN.with(|c| c.get()));
+        }
+    }
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+/// Measures the unithread (80 B) switch: cycles per one-way switch.
+pub fn measure_unithread_switch(batches: usize, iters_per_batch: usize) -> SwitchCost {
+    let mut stack = vec![0u8; 64 * 1024];
+    // SAFETY: pointer stays inside the allocation.
+    let top = unsafe { stack.as_mut_ptr().add(stack.len()) };
+    let mut main_ctx = Context::zeroed();
+    let mut th_ctx = Context::prepare(ping_entry, 0, top);
+    PING_MAIN.with(|c| c.set(&mut main_ctx));
+    PING_SELF.with(|c| c.set(&mut th_ctx));
+
+    let mut samples = Vec::with_capacity(batches);
+    for _ in 0..batches {
+        let t0 = rdtsc();
+        for _ in 0..iters_per_batch {
+            // SAFETY: contexts and stack outlive the loop.
+            unsafe { context::switch(&mut main_ctx, &th_ctx) };
+        }
+        let t1 = rdtsc();
+        // Each iteration is two one-way switches (there and back).
+        samples.push((t1 - t0) as f64 / (2.0 * iters_per_batch as f64));
+    }
+    SwitchCost {
+        cycles_per_switch: median(samples),
+        context_bytes: std::mem::size_of::<Context>(),
+    }
+}
+
+/// Measures the `ucontext_t`-equivalent (968 B) switch.
+pub fn measure_heavy_switch(batches: usize, iters_per_batch: usize) -> SwitchCost {
+    let mut stack = vec![0u8; 64 * 1024];
+    // SAFETY: pointer stays inside the allocation.
+    let top = unsafe { stack.as_mut_ptr().add(stack.len()) };
+    let mut main_ctx = HeavyContext::zeroed();
+    let mut th_ctx = HeavyContext::zeroed();
+    th_ctx.init(hping_entry, 0, top);
+    HPING_MAIN.with(|c| c.set(&mut main_ctx));
+    HPING_SELF.with(|c| c.set(&mut th_ctx));
+
+    let mut samples = Vec::with_capacity(batches);
+    for _ in 0..batches {
+        let t0 = rdtsc();
+        for _ in 0..iters_per_batch {
+            // SAFETY: contexts and stack outlive the loop.
+            unsafe { heavy::heavy_switch(&mut main_ctx, &th_ctx) };
+        }
+        let t1 = rdtsc();
+        samples.push((t1 - t0) as f64 / (2.0 * iters_per_batch as f64));
+    }
+    SwitchCost {
+        cycles_per_switch: median(samples),
+        context_bytes: std::mem::size_of::<HeavyContext>(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rdtsc_is_monotonic_enough() {
+        let a = rdtsc();
+        let b = rdtsc();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn unithread_switch_is_fast() {
+        let cost = measure_unithread_switch(16, 2_000);
+        assert_eq!(cost.context_bytes, 80);
+        // Table 1 reports 40 cycles on the paper's Xeon; leave generous
+        // headroom for virtualised/contended CI hosts.
+        assert!(
+            cost.cycles_per_switch < 400.0,
+            "unithread switch = {} cycles",
+            cost.cycles_per_switch
+        );
+    }
+
+    #[test]
+    fn heavy_switch_is_slower_than_unithread() {
+        let light = measure_unithread_switch(16, 2_000);
+        let heavy = measure_heavy_switch(16, 2_000);
+        assert_eq!(heavy.context_bytes, 968);
+        assert!(
+            heavy.cycles_per_switch > light.cycles_per_switch * 1.5,
+            "heavy {} vs light {} cycles",
+            heavy.cycles_per_switch,
+            light.cycles_per_switch
+        );
+    }
+}

@@ -1,0 +1,257 @@
+//! The `ucontext_t`-equivalent heavy context (Table 1 baseline).
+//!
+//! Shinjuku's user-level threads switch with glibc's
+//! `swapcontext(3)`, whose `ucontext_t` is 968 bytes on x86-64 and whose
+//! switch (i) saves/restores the *full* general-purpose register file,
+//! (ii) saves/restores the entire FPU/SSE state with
+//! `fxsave64`/`fxrstor64`, and (iii) performs an `rt_sigprocmask`
+//! system call to maintain the signal mask. [`HeavyContext`] reproduces
+//! all three costs without linking libc, so Table 1 ("context size
+//! 968 B, 191 cycles") can be measured natively.
+//!
+//! Layout mirrors glibc's `ucontext_t` field-for-field in size:
+//! `uc_flags` + `uc_link` (16) + `uc_stack` (24) + `mcontext` gregs
+//! (184) + fp pointer (8) + reserved (64) + `uc_sigmask` (128) +
+//! `__fpregs_mem` (512) + `__ssp` (32) = 968 bytes.
+
+use std::arch::global_asm;
+
+/// A full-fat context equivalent to glibc's `ucontext_t` (968 bytes).
+#[repr(C, align(8))]
+pub struct HeavyContext {
+    /// `uc_flags` (unused, layout only).
+    pub uc_flags: u64,
+    /// `uc_link` (unused, layout only).
+    pub uc_link: u64,
+    /// `uc_stack` (`ss_sp`, `ss_flags`, `ss_size`).
+    pub uc_stack: [u64; 3],
+    /// `mcontext_t.gregs`: the full general-purpose register file.
+    pub gregs: [u64; 23],
+    /// `mcontext_t.fpregs` pointer slot (layout only).
+    pub fpregs_ptr: u64,
+    /// `mcontext_t.__reserved1`.
+    pub reserved: [u64; 8],
+    /// `uc_sigmask`: the switch's `rt_sigprocmask` writes here.
+    pub uc_sigmask: [u64; 16],
+    /// `__fpregs_mem`: the `fxsave64` area lives at the first 16-aligned
+    /// offset inside it (offset 432 of the struct).
+    pub fpregs_mem: [u8; 512],
+    /// `__ssp` shadow-stack words; the tail doubles as `fxsave` slack
+    /// because `__fpregs_mem` itself starts 8-misaligned, exactly like
+    /// the real struct.
+    pub ssp: [u64; 4],
+}
+
+const _: () = assert!(
+    std::mem::size_of::<HeavyContext>() == 968,
+    "Table 1: ucontext_t is 968 B"
+);
+
+// Offsets used by the assembly below.
+const _: () = {
+    assert!(std::mem::offset_of!(HeavyContext, gregs) == 40);
+    assert!(std::mem::offset_of!(HeavyContext, uc_sigmask) == 296);
+    assert!(std::mem::offset_of!(HeavyContext, fpregs_mem) == 424);
+};
+
+impl Default for HeavyContext {
+    fn default() -> Self {
+        Self::zeroed()
+    }
+}
+
+impl HeavyContext {
+    /// An all-zero context (must be the save side of a switch, or be
+    /// initialised with [`HeavyContext::init`], before being resumed).
+    pub fn zeroed() -> HeavyContext {
+        // SAFETY: HeavyContext is plain-old-data; all-zero is a valid
+        // (if meaningless) value for every field.
+        unsafe { std::mem::zeroed() }
+    }
+
+    /// Initialises this context *in place* to begin executing
+    /// `entry(arg)` on the stack topped (exclusively) by `stack_top`.
+    ///
+    /// In-place because the seeded `fxsave` image lives at a 16-aligned
+    /// offset *relative to the struct's runtime address* (the struct
+    /// itself is 8-aligned, like glibc's `ucontext_t`); moving the
+    /// struct afterwards would shift the image off its slot.
+    pub fn init(&mut self, entry: extern "C" fn(u64) -> !, arg: u64, stack_top: *mut u8) {
+        *self = HeavyContext::zeroed();
+        let top = (stack_top as u64) & !0xF;
+        self.gregs[G_RSP] = top - 8;
+        self.gregs[G_RIP] = entry as usize as u64;
+        self.gregs[G_RDI] = arg;
+        // Seed a valid fxrstor image from the current FPU state.
+        // SAFETY: the aligned area starts at most at offset 439 and runs
+        // 512 bytes, ending before offset 968 (inside the struct).
+        unsafe {
+            let base = self as *mut HeavyContext as usize;
+            let area = ((base + 424 + 15) & !15) as *mut u8;
+            std::arch::asm!("fxsave64 [{0}]", in(reg) area, options(nostack));
+        }
+    }
+}
+
+// Greg slot assignments (our own; size-equivalent to glibc's). Slots
+// 0–11 (rbx, rbp, r12–r15, rdi, rsi, rdx, rcx, r8, r9) are written by
+// the assembly only; Rust touches the three used at initialisation.
+const G_RDI: usize = 6;
+const G_RSP: usize = 12;
+const G_RIP: usize = 13;
+
+// Byte offsets: gregs base 40, 8 bytes each.
+global_asm!(
+    r#"
+    .global heavy_switch_asm
+    .p2align 4
+// heavy_switch_asm(save: *mut HeavyContext [rdi], resume: *const HeavyContext [rsi])
+//
+// Mimics glibc swapcontext: full GPR save, fxsave64/fxrstor64 of the
+// FPU+SSE state, and an rt_sigprocmask syscall.
+heavy_switch_asm:
+    // Save the full general-purpose file (as getcontext does).
+    mov     [rdi + 40 + 0*8], rbx
+    mov     [rdi + 40 + 1*8], rbp
+    mov     [rdi + 40 + 2*8], r12
+    mov     [rdi + 40 + 3*8], r13
+    mov     [rdi + 40 + 4*8], r14
+    mov     [rdi + 40 + 5*8], r15
+    mov     [rdi + 40 + 6*8], rdi
+    mov     [rdi + 40 + 7*8], rsi
+    mov     [rdi + 40 + 8*8], rdx
+    mov     [rdi + 40 + 9*8], rcx
+    mov     [rdi + 40 + 10*8], r8
+    mov     [rdi + 40 + 11*8], r9
+    mov     rax, [rsp]
+    mov     [rdi + 40 + 13*8], rax      // rip
+    lea     rax, [rsp + 8]
+    mov     [rdi + 40 + 12*8], rax      // rsp
+    // Full FPU/SSE state (glibc saves the whole fxsave area). The area
+    // is the first 16-aligned address inside __fpregs_mem (the struct is
+    // 8-aligned, so the offset is computed at run time).
+    lea     rax, [rdi + 424 + 15]
+    and     rax, -16
+    fxsave64 [rax]
+
+    // rt_sigprocmask(SIG_BLOCK=0, NULL, &save->uc_sigmask, 8) — the
+    // kernel round trip swapcontext always pays.
+    mov     r12, rdi
+    mov     r13, rsi
+    lea     rdx, [r12 + 296]
+    xor     edi, edi
+    xor     esi, esi
+    mov     r10d, 8
+    mov     eax, 14
+    syscall
+
+    // Restore side (base in r13; restore r13 itself last via rsi).
+    mov     rsi, r13
+    lea     rax, [rsi + 424 + 15]
+    and     rax, -16
+    fxrstor64 [rax]
+    mov     rbx, [rsi + 40 + 0*8]
+    mov     rbp, [rsi + 40 + 1*8]
+    mov     r12, [rsi + 40 + 2*8]
+    mov     r13, [rsi + 40 + 3*8]
+    mov     r14, [rsi + 40 + 4*8]
+    mov     r15, [rsi + 40 + 5*8]
+    mov     rdi, [rsi + 40 + 6*8]
+    mov     rdx, [rsi + 40 + 8*8]
+    mov     rcx, [rsi + 40 + 9*8]
+    mov     r8,  [rsi + 40 + 10*8]
+    mov     r9,  [rsi + 40 + 11*8]
+    mov     rsp, [rsi + 40 + 12*8]
+    mov     rax, [rsi + 40 + 13*8]
+    mov     rsi, [rsi + 40 + 7*8]
+    jmp     rax
+"#
+);
+
+extern "C" {
+    fn heavy_switch_asm(save: *mut HeavyContext, resume: *const HeavyContext);
+}
+
+/// Switches with full `ucontext`-equivalent state transfer.
+///
+/// # Safety
+///
+/// Same contract as [`crate::context::switch`]: valid non-aliasing
+/// contexts, `resume` captured by a prior switch or initialised by
+/// [`HeavyContext::init`] over a live stack.
+#[inline]
+pub unsafe fn heavy_switch(save: *mut HeavyContext, resume: *const HeavyContext) {
+    // SAFETY: forwarded to the caller.
+    unsafe { heavy_switch_asm(save, resume) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn size_matches_table_1() {
+        assert_eq!(std::mem::size_of::<HeavyContext>(), 968);
+    }
+
+    thread_local! {
+        static MAIN: Cell<*mut HeavyContext> = const { Cell::new(std::ptr::null_mut()) };
+        static THREAD: Cell<*mut HeavyContext> = const { Cell::new(std::ptr::null_mut()) };
+        static VALUE: Cell<u64> = const { Cell::new(0) };
+    }
+
+    extern "C" fn worker(arg: u64) -> ! {
+        let mut acc = arg;
+        let mut f = arg as f64;
+        loop {
+            acc = acc.rotate_left(9) ^ 0x5555;
+            f = (f * 1.25 + 1.0).sqrt();
+            VALUE.with(|v| v.set(acc ^ f.to_bits()));
+            // SAFETY: contexts installed by the test and outlive it.
+            unsafe {
+                heavy_switch(THREAD.with(|c| c.get()), MAIN.with(|c| c.get()));
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_ping_pong() {
+        let mut stack = vec![0u8; 64 * 1024];
+        let top = unsafe { stack.as_mut_ptr().add(stack.len()) };
+        let mut main_ctx = HeavyContext::zeroed();
+        let mut th_ctx = HeavyContext::zeroed();
+        th_ctx.init(worker, 3, top);
+        MAIN.with(|c| c.set(&mut main_ctx));
+        THREAD.with(|c| c.set(&mut th_ctx));
+
+        let mut acc = 3u64;
+        let mut f = 3f64;
+        for _ in 0..64 {
+            // SAFETY: contexts and stack live for the whole test.
+            unsafe { heavy_switch(&mut main_ctx, &th_ctx) };
+            acc = acc.rotate_left(9) ^ 0x5555;
+            f = (f * 1.25 + 1.0).sqrt();
+            assert_eq!(VALUE.with(|v| v.get()), acc ^ f.to_bits());
+        }
+    }
+
+    #[test]
+    fn sigmask_area_written_by_switch() {
+        // The syscall writes the current (empty) mask into uc_sigmask —
+        // proving the kernel round trip actually happens.
+        let mut stack = vec![0u8; 64 * 1024];
+        let top = unsafe { stack.as_mut_ptr().add(stack.len()) };
+        let mut main_ctx = HeavyContext::zeroed();
+        main_ctx.uc_sigmask[0] = 0xFFFF_FFFF_FFFF_FFFF;
+        let mut th_ctx = HeavyContext::zeroed();
+        th_ctx.init(worker, 1, top);
+        MAIN.with(|c| c.set(&mut main_ctx));
+        THREAD.with(|c| c.set(&mut th_ctx));
+        unsafe { heavy_switch(&mut main_ctx, &th_ctx) };
+        assert_eq!(
+            main_ctx.uc_sigmask[0], 0,
+            "rt_sigprocmask should have overwritten the mask slot"
+        );
+    }
+}

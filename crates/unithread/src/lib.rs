@@ -1,0 +1,42 @@
+//! Unithreads: the paper's lightweight user-level thread, for real.
+//!
+//! Unlike the rest of the reproduction — which simulates the RDMA
+//! testbed — this crate implements the unithread abstraction natively on
+//! x86-64, exactly as §3.2 of the paper describes it:
+//!
+//! - an **80-byte context** holding one argument register and the
+//!   callee-saved state (`rsp`, `rbp`, `rbx`, `r12`–`r15`, `rip`,
+//!   `mxcsr`, `fpucw`); everything else is caller-saved under the SysV
+//!   ABI and is spilled by the compiler around the switch call, so the
+//!   switch itself never touches it;
+//! - a **unified buffer** per thread: `[packet payload | context |
+//!   universal stack]`, one allocation that serves as network buffer,
+//!   kernel stack and user stack at once;
+//! - a **pre-allocated pool** (131 072 buffers in the paper) so request
+//!   handling never allocates;
+//! - a [`HeavyContext`] baseline equivalent to glibc's `ucontext_t`
+//!   (968 bytes, full GPR + FPU state + signal-mask syscall), used to
+//!   reproduce Table 1.
+//!
+//! The [`cycles`] module measures both switches with `rdtsc`, which is
+//! how Table 1 of `EXPERIMENTS.md` is produced.
+//!
+//! # Platform support
+//!
+//! The context switch is x86-64 assembly; the crate compiles only on
+//! `x86_64` targets (the paper's testbed is x86-64 as well).
+
+#![cfg(target_arch = "x86_64")]
+
+pub mod buffer;
+pub mod context;
+pub mod cycles;
+pub mod heavy;
+pub mod mt;
+pub mod runner;
+
+pub use buffer::{BufferPool, PAPER_BUFFER_SIZE, PAPER_POOL_SIZE};
+pub use context::Context;
+pub use heavy::HeavyContext;
+pub use mt::{FaultCtx, MdNode, NodeConfig};
+pub use runner::{Runner, ThreadId, Yielder};

@@ -1,0 +1,63 @@
+//! The Adios architecture on real OS threads — no simulation.
+//!
+//! A dispatcher thread PF-aware-assigns requests to worker threads;
+//! each worker runs unithreads from its pre-allocated buffer pool, and
+//! remote fetches *yield* instead of busy-waiting: with a 2 ms fetch
+//! latency, hundreds of in-flight requests complete concurrently.
+//!
+//! ```text
+//! cargo run --release --example native_node
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use adios::unithread::mt::{Handler, MdNode, NodeConfig};
+use adios::unithread::Yielder;
+
+fn main() {
+    // "Remote" data: an array whose reads require a fetch first.
+    let values: Arc<Vec<u64>> = Arc::new((0..65_536).map(|i| i * 2654435761 % 1_000_003).collect());
+    let v = values.clone();
+    let handler: Handler = Arc::new(move |y: &mut Yielder, ctx| {
+        let idx = u64::from_le_bytes(y.payload()[..8].try_into().unwrap()) as usize;
+        ctx.fetch_remote(y, (idx / 512) as u64); // page fault → yield
+        v[idx].to_le_bytes().to_vec()
+    });
+
+    let node = MdNode::start(
+        NodeConfig {
+            workers: 4,
+            pool_per_worker: 512,
+            fetch_latency: Duration::from_millis(2),
+            ..Default::default()
+        },
+        handler,
+    );
+
+    const N: u64 = 1_000;
+    println!("pipelining {N} requests through 4 workers (2 ms per remote fetch)…");
+    let start = Instant::now();
+    let receivers: Vec<_> = (0..N)
+        .map(|i| node.submit(&(i % 65_536).to_le_bytes()))
+        .collect();
+    let mut checked = 0;
+    for (i, rx) in receivers.into_iter().enumerate() {
+        let reply = rx.recv().expect("reply");
+        let got = u64::from_le_bytes(reply[..8].try_into().unwrap());
+        assert_eq!(got, values[i % 65_536]);
+        checked += 1;
+    }
+    let elapsed = start.elapsed();
+    let stats = node.shutdown();
+
+    println!("completed {checked} requests in {elapsed:?}");
+    println!(
+        "busy-waiting would need ≥ {:?} (requests × latency / workers)",
+        Duration::from_millis(2) * (N as u32) / 4
+    );
+    println!(
+        "max outstanding fetches on one worker: {} (yield-based overlap at work)",
+        stats.max_outstanding
+    );
+}

@@ -1,0 +1,95 @@
+//! Reproducibility: a simulation run is a pure function of its
+//! configuration and seed, across the whole stack including the
+//! application substrates.
+
+use adios::apps::silo::tpcc::TpccScale;
+use adios::prelude::*;
+
+fn params(seed: u64) -> RunParams {
+    RunParams {
+        offered_rps: 900_000.0,
+        seed,
+        warmup: SimDuration::from_millis(3),
+        measure: SimDuration::from_millis(12),
+        local_mem_fraction: 0.2,
+        keep_breakdowns: false,
+        burst: None,
+        timeline_bucket: None,
+    }
+}
+
+fn fingerprint(r: &RunResult) -> (u64, u64, u64, u64, u64) {
+    (
+        r.recorder.completed_in_window(),
+        r.recorder.overall().percentile(50.0),
+        r.recorder.overall().percentile(99.9),
+        r.stats.prefetches,
+        r.cache.misses,
+    )
+}
+
+#[test]
+fn microbench_bitwise_reproducible() {
+    for kind in SystemKind::all() {
+        let mut w1 = ArrayIndexWorkload::new(16_384);
+        let mut w2 = ArrayIndexWorkload::new(16_384);
+        let a = run_one(SystemConfig::for_kind(kind), &mut w1, params(5));
+        let b = run_one(SystemConfig::for_kind(kind), &mut w2, params(5));
+        assert_eq!(fingerprint(&a), fingerprint(&b), "{}", kind.name());
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let mut w1 = ArrayIndexWorkload::new(16_384);
+    let mut w2 = ArrayIndexWorkload::new(16_384);
+    let a = run_one(SystemConfig::adios(), &mut w1, params(5));
+    let b = run_one(SystemConfig::adios(), &mut w2, params(6));
+    assert_ne!(
+        fingerprint(&a),
+        fingerprint(&b),
+        "different arrival sequences should not produce identical runs"
+    );
+}
+
+#[test]
+fn memcached_reproducible() {
+    let mut w1 = MemcachedWorkload::new(60_000, 128);
+    let mut w2 = MemcachedWorkload::new(60_000, 128);
+    let a = run_one(SystemConfig::adios(), &mut w1, params(7));
+    let b = run_one(SystemConfig::adios(), &mut w2, params(7));
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn tpcc_reproducible_including_occ() {
+    let mut w1 = TpccWorkload::new(TpccScale::tiny(), 9);
+    let mut w2 = TpccWorkload::new(TpccScale::tiny(), 9);
+    let mut p = params(8);
+    p.offered_rps = 60_000.0;
+    let a = run_one(SystemConfig::dilos_p(), &mut w1, p.clone());
+    let b = run_one(SystemConfig::dilos_p(), &mut w2, p);
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    assert_eq!(
+        w1.stats().retries,
+        w2.stats().retries,
+        "OCC retries deterministic"
+    );
+    assert_eq!(w1.stats().commits, w2.stats().commits);
+}
+
+#[test]
+fn workload_traces_independent_of_system() {
+    // The same seed must offer the *same request sequence* to every
+    // system — that is what makes cross-system comparisons fair.
+    let mut w1 = ArrayIndexWorkload::new(16_384);
+    let mut w2 = ArrayIndexWorkload::new(16_384);
+    let a = run_one(SystemConfig::dilos(), &mut w1, params(11));
+    let b = run_one(SystemConfig::adios(), &mut w2, params(11));
+    // Both systems clear this light load: same completion counts.
+    assert_eq!(
+        a.recorder.completed_total(),
+        b.recorder.completed_total(),
+        "identical arrival sequences expected"
+    );
+}
