@@ -47,6 +47,7 @@ pub(crate) fn sweep(
                 keep_breakdowns: false,
                 burst: None,
                 timeline_bucket: None,
+                trace_capacity: None,
             };
             Simulation::new(cfg.clone(), workload, params).run()
         })
@@ -71,6 +72,7 @@ pub(crate) fn run_with_breakdowns(
         keep_breakdowns: true,
         burst: None,
         timeline_bucket: None,
+        trace_capacity: None,
     };
     Simulation::new(cfg.clone(), workload, params).run()
 }

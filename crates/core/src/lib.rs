@@ -30,7 +30,7 @@ pub mod experiments;
 pub mod report;
 pub mod scale;
 
-pub use report::{Expectation, FigureReport, Series};
+pub use report::{run_json, Expectation, FigureReport, Series};
 pub use runtime::sim::{run_one, RunParams, RunResult};
 pub use runtime::{
     DispatchPolicy, FaultPolicy, PrefetcherKind, QueueModel, Simulation, SystemConfig, SystemKind,

@@ -1,6 +1,56 @@
-//! Figure reports: measured series plus paper-vs-measured expectations.
+//! Figure reports: measured series plus paper-vs-measured expectations,
+//! and a machine-readable per-run JSON view of [`RunResult`].
 
+use runtime::sim::RunResult;
 use std::fmt::Write as _;
+
+/// Renders one run as a deterministic JSON object: load point,
+/// latency percentiles, window, utilisations, the full metrics
+/// registry and — when the run was traced — the virtual-time event
+/// timeline. Field order is fixed and floats use fixed precision, so
+/// equal-seed runs serialise byte-identically (see
+/// `tests/determinism.rs`).
+pub fn run_json(res: &RunResult) -> String {
+    let h = res.recorder.overall();
+    let mut out = String::new();
+    out.push('{');
+    let _ = write!(out, "\"offered_rps\":{:.3},", res.offered_rps);
+    let _ = write!(out, "\"achieved_rps\":{:.3},", res.recorder.achieved_rps());
+    let _ = write!(out, "\"completed\":{},", res.recorder.completed_in_window());
+    let _ = write!(out, "\"dropped\":{},", res.recorder.dropped());
+    let _ = write!(out, "\"window_ns\":{},", res.window.as_nanos());
+    let _ = write!(out, "\"workers\":{},", res.workers);
+    let _ = write!(
+        out,
+        "\"latency_ns\":{{\"p50\":{},\"p99\":{},\"p999\":{},\"mean\":{:.3}}},",
+        h.percentile(50.0),
+        h.percentile(99.0),
+        h.percentile(99.9),
+        h.mean()
+    );
+    let _ = write!(
+        out,
+        "\"rdma_util\":{{\"data\":{:.6},\"ctrl\":{:.6}}},",
+        res.rdma_data_util, res.rdma_ctrl_util
+    );
+    let _ = write!(out, "\"spin_fraction\":{:.6},", res.spin_fraction());
+    let c = &res.cache;
+    let _ = write!(
+        out,
+        "\"cache\":{{\"hits\":{},\"misses\":{},\"coalesced\":{},\"evictions\":{},\"dirty_evictions\":{}}},",
+        c.hits, c.misses, c.coalesced, c.evictions, c.dirty_evictions
+    );
+    let _ = write!(out, "\"metrics\":{},", res.metrics.to_json());
+    match &res.trace {
+        Some(events) => {
+            let _ = write!(out, "\"trace_dropped\":{},", res.trace_dropped);
+            let _ = write!(out, "\"trace\":{}", desim::trace::trace_to_json(events));
+        }
+        None => out.push_str("\"trace\":null"),
+    }
+    out.push('}');
+    out
+}
 
 /// One plotted series (a line of a figure, or a table block).
 #[derive(Debug, Clone)]
@@ -272,6 +322,39 @@ mod tests {
         let content = std::fs::read_to_string(&paths[0]).unwrap();
         assert!(content.starts_with("x,y"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_json_is_wellformed_and_traced() {
+        use desim::SimDuration;
+        use runtime::config::SystemConfig;
+        use runtime::sim::{run_one, RunParams};
+        use runtime::workload::ArrayIndexWorkload;
+
+        let mut w = ArrayIndexWorkload::new(16_384);
+        let params = RunParams {
+            offered_rps: 400_000.0,
+            warmup: SimDuration::from_millis(1),
+            measure: SimDuration::from_millis(2),
+            trace_capacity: Some(10_000),
+            ..Default::default()
+        };
+        let res = run_one(SystemConfig::adios(), &mut w, params);
+        let json = run_json(&res);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for key in [
+            "\"offered_rps\":",
+            "\"latency_ns\":",
+            "\"metrics\":",
+            "\"counters\":",
+            "\"trace\":[",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json:.120}");
+        }
+        // Untraced runs say so explicitly instead of omitting the key.
+        let mut res2 = res;
+        res2.trace = None;
+        assert!(run_json(&res2).contains("\"trace\":null"));
     }
 
     #[test]

@@ -129,8 +129,8 @@ impl<E> EventQueue<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::Rng;
     use crate::time::SimDuration;
-    use proptest::prelude::*;
 
     #[test]
     fn orders_by_time_then_fifo() {
@@ -186,40 +186,46 @@ mod tests {
         assert_eq!(q.pop(), Some((SimTime(10), 1)));
     }
 
-    proptest! {
-        /// Popped timestamps are non-decreasing, and events with equal
-        /// timestamps come out in insertion order.
-        #[test]
-        fn total_order(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+    /// Popped timestamps are non-decreasing, and events with equal
+    /// timestamps come out in insertion order, over random schedules.
+    #[test]
+    fn total_order() {
+        let mut rng = Rng::new(0x701);
+        for _ in 0..64 {
+            let n = 1 + rng.gen_range(199) as usize;
             let mut q = EventQueue::new();
-            for (i, &t) in times.iter().enumerate() {
-                q.push(SimTime(t), i);
+            for i in 0..n {
+                q.push(SimTime(rng.gen_range(1_000)), i);
             }
             let mut prev: Option<(SimTime, usize)> = None;
             while let Some((t, i)) = q.pop() {
                 if let Some((pt, pi)) = prev {
-                    prop_assert!(t >= pt);
+                    assert!(t >= pt);
                     if t == pt {
-                        prop_assert!(i > pi, "FIFO violated at equal timestamps");
+                        assert!(i > pi, "FIFO violated at equal timestamps");
                     }
                 }
                 prev = Some((t, i));
             }
         }
+    }
 
-        /// Every pushed event is popped exactly once.
-        #[test]
-        fn conservation(times in proptest::collection::vec(0u64..100, 0..100)) {
+    /// Every pushed event is popped exactly once.
+    #[test]
+    fn conservation() {
+        let mut rng = Rng::new(0xC02);
+        for _ in 0..64 {
+            let n = rng.gen_range(100) as usize;
             let mut q = EventQueue::new();
-            for (i, &t) in times.iter().enumerate() {
-                q.push(SimTime(t), i);
+            for i in 0..n {
+                q.push(SimTime(rng.gen_range(100)), i);
             }
-            let mut seen = vec![false; times.len()];
+            let mut seen = vec![false; n];
             while let Some((_, i)) = q.pop() {
-                prop_assert!(!seen[i]);
+                assert!(!seen[i]);
                 seen[i] = true;
             }
-            prop_assert!(seen.iter().all(|&s| s));
+            assert!(seen.iter().all(|&s| s));
         }
     }
 }

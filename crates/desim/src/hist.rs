@@ -194,7 +194,7 @@ impl std::fmt::Debug for Histogram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::Rng;
 
     #[test]
     fn empty_histogram() {
@@ -293,14 +293,21 @@ mod tests {
         sorted[rank - 1]
     }
 
-    proptest! {
-        /// Histogram percentile is within the bucketing error bound of
-        /// the exact sorted-sample percentile.
-        #[test]
-        fn percentile_accuracy(
-            mut values in proptest::collection::vec(1u64..1_000_000_000, 10..500),
-            p in 1.0f64..100.0,
-        ) {
+    /// Draws `len` values in `[1, bound]` from the simulator's own
+    /// seeded generator (deterministic stand-in for proptest inputs).
+    fn random_values(rng: &mut Rng, len: usize, bound: u64) -> Vec<u64> {
+        (0..len).map(|_| 1 + rng.gen_range(bound)).collect()
+    }
+
+    /// Histogram percentile is within the bucketing error bound of the
+    /// exact sorted-sample percentile, over many random samples.
+    #[test]
+    fn percentile_accuracy() {
+        let mut rng = Rng::new(0xACC);
+        for _ in 0..64 {
+            let len = 10 + rng.gen_range(490) as usize;
+            let mut values = random_values(&mut rng, len, 1_000_000_000);
+            let p = 1.0 + 99.0 * rng.gen_f64();
             let mut h = Histogram::new();
             for &v in &values {
                 h.record(v);
@@ -309,42 +316,113 @@ mod tests {
             let exact = exact_percentile(&values, p);
             let approx = h.percentile(p);
             // Upper-bound reporting: approx >= exact, within one bucket.
-            prop_assert!(approx >= exact, "approx {approx} < exact {exact}");
-            prop_assert!(
+            assert!(approx >= exact, "approx {approx} < exact {exact}");
+            assert!(
                 approx as f64 <= exact as f64 * (1.0 + 2.0 / SUB as f64) + 1.0,
                 "approx {approx} too far above exact {exact}"
             );
         }
+    }
 
-        /// Percentiles are monotone in p.
-        #[test]
-        fn percentile_monotone(values in proptest::collection::vec(1u64..1_000_000, 1..200)) {
+    /// Percentiles are monotone in p.
+    #[test]
+    fn percentile_monotone() {
+        let mut rng = Rng::new(0x304);
+        for _ in 0..64 {
+            let len = 1 + rng.gen_range(199) as usize;
+            let values = random_values(&mut rng, len, 1_000_000);
             let mut h = Histogram::new();
             for &v in &values {
                 h.record(v);
             }
             let ps = [0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0];
             for w in ps.windows(2) {
-                prop_assert!(h.percentile(w[0]) <= h.percentile(w[1]));
+                assert!(h.percentile(w[0]) <= h.percentile(w[1]));
             }
         }
+    }
 
-        /// Merging equals recording the concatenation.
-        #[test]
-        fn merge_equivalence(
-            xs in proptest::collection::vec(1u64..1_000_000, 0..100),
-            ys in proptest::collection::vec(1u64..1_000_000, 0..100),
-        ) {
+    /// Merging equals recording the concatenation.
+    #[test]
+    fn merge_equivalence() {
+        let mut rng = Rng::new(0x3E6);
+        for _ in 0..64 {
+            let nx = rng.gen_range(100) as usize;
+            let xs = random_values(&mut rng, nx, 1_000_000);
+            let ny = rng.gen_range(100) as usize;
+            let ys = random_values(&mut rng, ny, 1_000_000);
             let mut a = Histogram::new();
             let mut b = Histogram::new();
             let mut all = Histogram::new();
-            for &x in &xs { a.record(x); all.record(x); }
-            for &y in &ys { b.record(y); all.record(y); }
-            a.merge(&b);
-            prop_assert_eq!(a.count(), all.count());
-            for p in [50.0, 99.0, 100.0] {
-                prop_assert_eq!(a.percentile(p), all.percentile(p));
+            for &x in &xs {
+                a.record(x);
+                all.record(x);
             }
+            for &y in &ys {
+                b.record(y);
+                all.record(y);
+            }
+            a.merge(&b);
+            assert_eq!(a.count(), all.count());
+            for p in [50.0, 99.0, 100.0] {
+                assert_eq!(a.percentile(p), all.percentile(p));
+            }
+        }
+    }
+
+    /// Bucket-boundary audit: at every octave boundary `SUB << k`
+    /// (± 1), at `u64::MAX`, and for random values, the round-trip
+    /// `bucket_high(bucket_of(v)) >= v` holds and both maps are
+    /// monotone. Guards the off-by-one class of bugs in the log-bucket
+    /// arithmetic.
+    #[test]
+    fn bucket_roundtrip_at_octave_boundaries() {
+        let mut values: Vec<u64> = vec![0, 1, SUB - 1, SUB, SUB + 1, u64::MAX - 1, u64::MAX];
+        for k in 0..(64 - SUB_BITS) {
+            let base = SUB << k;
+            values.push(base - 1);
+            values.push(base);
+            if let Some(v) = base.checked_add(1) {
+                values.push(v);
+            }
+        }
+        let mut rng = Rng::new(0xB0B);
+        for _ in 0..4_096 {
+            values.push(rng.next_u64());
+        }
+        values.sort_unstable();
+        let mut prev: Option<(u64, usize)> = None;
+        for &v in &values {
+            let b = bucket_of(v);
+            assert!(b < NBUCKETS, "bucket_of({v}) = {b} out of range");
+            assert!(
+                bucket_high(b) >= v,
+                "bucket_high({b}) = {} < {v}",
+                bucket_high(b)
+            );
+            if b > 0 {
+                assert!(
+                    bucket_high(b - 1) < v,
+                    "value {v} also fits bucket {}",
+                    b - 1
+                );
+            }
+            if let Some((pv, pb)) = prev {
+                assert!(b >= pb, "bucket_of not monotone: {pv}→{pb}, {v}→{b}");
+            }
+            prev = Some((v, b));
+        }
+        // bucket_high is monotone and itself round-trips.
+        for b in 1..NBUCKETS {
+            assert!(
+                bucket_high(b) > bucket_high(b - 1),
+                "bucket_high not monotone at {b}"
+            );
+            assert_eq!(
+                bucket_of(bucket_high(b)),
+                b,
+                "bucket_high({b}) maps elsewhere"
+            );
         }
     }
 }

@@ -15,15 +15,22 @@
 //!   exponential for Poisson arrival processes, normal).
 //! - [`Histogram`] — an HDR-style log-bucketed latency histogram with
 //!   ~1.5 % relative error, used for every P50/P99/P99.9 figure.
+//! - [`trace`] — virtual-time tracing ([`Tracer`], [`RingTracer`]) and
+//!   the typed counter/gauge registry ([`Metrics`]) every component
+//!   reports through.
 
 pub mod event;
 pub mod hist;
 pub mod rng;
 pub mod series;
 pub mod time;
+pub mod trace;
 
 pub use event::EventQueue;
 pub use hist::Histogram;
 pub use rng::Rng;
 pub use series::TimeSeries;
 pub use time::{SimDuration, SimTime, CYCLES_PER_SEC, NS_PER_SEC};
+pub use trace::{
+    CounterId, GaugeId, Metrics, MetricsSnapshot, NoopTracer, RingTracer, TraceEvent, Tracer,
+};

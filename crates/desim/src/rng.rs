@@ -126,10 +126,6 @@ impl Rng {
 
 #[cfg(test)]
 mod tests {
-    use proptest::prelude::*;
-
-    // The explicit import wins over the glob (proptest's prelude also
-    // exports a `Rng` trait).
     use super::Rng;
 
     #[test]
@@ -206,34 +202,51 @@ mod tests {
         assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left input sorted");
     }
 
-    proptest! {
-        /// `gen_range(b)` always returns a value below `b`.
-        #[test]
-        fn range_in_bounds(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+    /// `gen_range(b)` always returns a value below `b`, across random
+    /// seeds and bounds (including extreme bounds).
+    #[test]
+    fn range_in_bounds() {
+        let mut meta = Rng::new(0x5EED);
+        for _ in 0..64 {
+            let seed = meta.next_u64();
+            let bound = 1 + meta.gen_range(u64::MAX - 1);
             let mut rng = Rng::new(seed);
             for _ in 0..32 {
-                prop_assert!(rng.gen_range(bound) < bound);
+                assert!(rng.gen_range(bound) < bound);
             }
         }
+        for bound in [1u64, 2, 3, u64::MAX - 1, u64::MAX] {
+            let mut rng = Rng::new(9);
+            for _ in 0..32 {
+                assert!(rng.gen_range(bound) < bound);
+            }
+        }
+    }
 
-        /// `gen_f64` stays in [0, 1).
-        #[test]
-        fn f64_in_unit_interval(seed in any::<u64>()) {
-            let mut rng = Rng::new(seed);
+    /// `gen_f64` stays in [0, 1).
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut meta = Rng::new(0xF64);
+        for _ in 0..64 {
+            let mut rng = Rng::new(meta.next_u64());
             for _ in 0..64 {
                 let x = rng.gen_f64();
-                prop_assert!((0.0..1.0).contains(&x));
+                assert!((0.0..1.0).contains(&x));
             }
         }
+    }
 
-        /// `exp` samples are non-negative and finite.
-        #[test]
-        fn exp_non_negative(seed in any::<u64>(), mean in 0.001f64..1e6) {
-            let mut rng = Rng::new(seed);
+    /// `exp` samples are non-negative and finite for any mean.
+    #[test]
+    fn exp_non_negative() {
+        let mut meta = Rng::new(0xE4B);
+        for _ in 0..64 {
+            let mut rng = Rng::new(meta.next_u64());
+            let mean = 0.001 + meta.gen_f64() * 1e6;
             for _ in 0..32 {
                 let x = rng.exp(mean);
-                prop_assert!(x.is_finite());
-                prop_assert!(x >= 0.0);
+                assert!(x.is_finite());
+                assert!(x >= 0.0);
             }
         }
     }

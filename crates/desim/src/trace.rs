@@ -1,0 +1,508 @@
+//! Virtual-time tracing and per-component metrics.
+//!
+//! Two complementary observability primitives share this module:
+//!
+//! - [`Tracer`] — a sink for discrete [`TraceEvent`]s stamped with
+//!   simulated time. The default [`NoopTracer`] reports itself disabled
+//!   so instrumentation sites cost one branch; [`RingTracer`] keeps the
+//!   most recent `capacity` events in a bounded ring and counts what it
+//!   dropped, so a saturated run can still be traced with bounded
+//!   memory.
+//! - [`Metrics`] — a typed counter/gauge registry. Components register
+//!   named counters ([`CounterId`]) and time-weighted gauges
+//!   ([`GaugeId`]) once, then update them through copyable handles on
+//!   the hot path (an indexed add — no hashing, no allocation).
+//!   [`Metrics::reset`] re-bases every instrument at a window boundary,
+//!   which is how the runtime scopes rates to the measurement window
+//!   (warm-up activity is discarded at the warm-up→measure boundary).
+//!
+//! Snapshots serialize to JSON with a deterministic field order
+//! (registration order), so two runs with the same seed produce
+//! byte-identical output — the determinism suite relies on this.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+use crate::time::SimTime;
+
+/// One traced occurrence at a simulated instant.
+///
+/// The payload is two bare `u64`s rather than a string map: trace
+/// records are produced on the simulator's hot path, where formatting
+/// or allocating per event would distort the very timings being
+/// observed. The meaning of `a`/`b` is per event name and documented at
+/// the emitting site (`docs/MODEL.md` lists the schema).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated instant of the event.
+    pub at: SimTime,
+    /// Emitting component (e.g. `"dispatch"`, `"fault"`, `"reclaim"`).
+    pub component: &'static str,
+    /// Event name within the component.
+    pub name: &'static str,
+    /// First payload word (meaning depends on `name`).
+    pub a: u64,
+    /// Second payload word (meaning depends on `name`).
+    pub b: u64,
+}
+
+impl TraceEvent {
+    /// Renders the event as one deterministic JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"t\":{},\"c\":\"{}\",\"e\":\"{}\",\"a\":{},\"b\":{}}}",
+            self.at.as_nanos(),
+            self.component,
+            self.name,
+            self.a,
+            self.b
+        )
+    }
+}
+
+/// A sink for trace events.
+pub trait Tracer {
+    /// Whether events should be produced at all. Instrumentation sites
+    /// check this before building a [`TraceEvent`], so a disabled
+    /// tracer costs one call per site.
+    fn enabled(&self) -> bool;
+    /// Records one event (ignored by disabled tracers).
+    fn record(&mut self, ev: TraceEvent);
+    /// Removes and returns every buffered event, oldest first.
+    fn drain(&mut self) -> Vec<TraceEvent>;
+    /// Events discarded because the buffer was full.
+    fn dropped(&self) -> u64;
+}
+
+/// The zero-cost default: never enabled, never stores anything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopTracer;
+
+impl Tracer for NoopTracer {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn record(&mut self, _ev: TraceEvent) {}
+    fn drain(&mut self) -> Vec<TraceEvent> {
+        Vec::new()
+    }
+    fn dropped(&self) -> u64 {
+        0
+    }
+}
+
+/// A bounded ring of the most recent events.
+#[derive(Debug)]
+pub struct RingTracer {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingTracer {
+    /// Creates a tracer retaining at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> RingTracer {
+        assert!(capacity > 0, "tracer needs capacity");
+        RingTracer {
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl Tracer for RingTracer {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, ev: TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+
+    fn drain(&mut self) -> Vec<TraceEvent> {
+        self.buf.drain(..).collect()
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered time-weighted gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+#[derive(Debug, Clone)]
+struct Counter {
+    name: &'static str,
+    value: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Gauge {
+    name: &'static str,
+    last: f64,
+    max: f64,
+    /// Time integral of the gauge value (value × ns) since the last
+    /// reset, up to `since`.
+    integral: f64,
+    since: SimTime,
+}
+
+/// The counter/gauge registry one simulation owns.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    counters: Vec<Counter>,
+    gauges: Vec<Gauge>,
+    reset_at: SimTime,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Registers a counter; the returned handle is valid for the
+    /// registry's lifetime.
+    pub fn counter(&mut self, name: &'static str) -> CounterId {
+        debug_assert!(
+            self.counters.iter().all(|c| c.name != name),
+            "duplicate counter {name}"
+        );
+        self.counters.push(Counter { name, value: 0 });
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Registers a time-weighted gauge starting at 0.
+    pub fn gauge(&mut self, name: &'static str) -> GaugeId {
+        debug_assert!(
+            self.gauges.iter().all(|g| g.name != name),
+            "duplicate gauge {name}"
+        );
+        self.gauges.push(Gauge {
+            name,
+            last: 0.0,
+            max: 0.0,
+            integral: 0.0,
+            since: SimTime::ZERO,
+        });
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Adds `n` to a counter.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        self.counters[id.0].value += n;
+    }
+
+    /// Adds 1 to a counter.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Current value of a counter.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0].value
+    }
+
+    /// Sets a gauge to `value` at simulated instant `now`, accumulating
+    /// the time the previous value was held.
+    ///
+    /// Updates with `now` earlier than the gauge's last update are
+    /// tolerated (worker virtual clocks run slightly ahead of the event
+    /// clock): the value is adopted without accruing negative time.
+    #[inline]
+    pub fn gauge_set(&mut self, id: GaugeId, now: SimTime, value: f64) {
+        let g = &mut self.gauges[id.0];
+        if now > g.since {
+            g.integral += g.last * now.since(g.since).as_nanos() as f64;
+            g.since = now;
+        }
+        g.last = value;
+        if value > g.max {
+            g.max = value;
+        }
+    }
+
+    /// Re-bases every instrument at `now`: counters return to zero,
+    /// gauges keep their current value but forget their history (max
+    /// and time integral restart). Called at the warm-up→measure
+    /// boundary so every rate covers only the measurement window.
+    pub fn reset(&mut self, now: SimTime) {
+        for c in &mut self.counters {
+            c.value = 0;
+        }
+        for g in &mut self.gauges {
+            g.integral = 0.0;
+            g.max = g.last;
+            g.since = now;
+        }
+        self.reset_at = now;
+    }
+
+    /// Takes a snapshot at `now`; gauge means are time-weighted over
+    /// the interval since the last [`Metrics::reset`] (or creation).
+    pub fn snapshot(&self, now: SimTime) -> MetricsSnapshot {
+        let window = now.saturating_since(self.reset_at).as_nanos() as f64;
+        MetricsSnapshot {
+            counters: self.counters.iter().map(|c| (c.name, c.value)).collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|g| {
+                    let extra = if now > g.since {
+                        g.last * now.since(g.since).as_nanos() as f64
+                    } else {
+                        0.0
+                    };
+                    GaugeSnapshot {
+                        name: g.name,
+                        last: g.last,
+                        max: g.max,
+                        mean: if window > 0.0 {
+                            (g.integral + extra) / window
+                        } else {
+                            g.last
+                        },
+                    }
+                })
+                .collect(),
+            window_ns: window as u64,
+        }
+    }
+}
+
+/// Point-in-time view of one gauge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaugeSnapshot {
+    /// Registered name.
+    pub name: &'static str,
+    /// Value at snapshot time.
+    pub last: f64,
+    /// Maximum value observed since the last reset.
+    pub max: f64,
+    /// Time-weighted mean since the last reset.
+    pub mean: f64,
+}
+
+/// Frozen registry contents, in registration order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` per registered counter.
+    pub counters: Vec<(&'static str, u64)>,
+    /// One entry per registered gauge.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// Length of the interval the snapshot covers, ns.
+    pub window_ns: u64,
+}
+
+impl MetricsSnapshot {
+    /// Looks a counter up by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks a gauge up by name.
+    pub fn gauge(&self, name: &str) -> Option<&GaugeSnapshot> {
+        self.gauges.iter().find(|g| g.name == name)
+    }
+
+    /// Renders the snapshot as one deterministic JSON object
+    /// (registration order; floats at fixed precision).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"window_ns\":");
+        let _ = write!(out, "{}", self.window_ns);
+        out.push_str(",\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, g) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"last\":{:.3},\"max\":{:.3},\"mean\":{:.6}}}",
+                g.name, g.last, g.max, g.mean
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Renders a slice of trace events as a deterministic JSON array.
+pub fn trace_to_json(events: &[TraceEvent]) -> String {
+    let mut out = String::from("[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&ev.to_json());
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, name: &'static str) -> TraceEvent {
+        TraceEvent {
+            at: SimTime(t),
+            component: "test",
+            name,
+            a: t,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn noop_is_disabled_and_empty() {
+        let mut t = NoopTracer;
+        assert!(!t.enabled());
+        t.record(ev(1, "x"));
+        assert!(t.drain().is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_and_counts_drops() {
+        let mut t = RingTracer::new(3);
+        assert!(t.enabled());
+        for i in 0..5 {
+            t.record(ev(i, "e"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let drained: Vec<u64> = t.drain().iter().map(|e| e.at.as_nanos()).collect();
+        assert_eq!(drained, vec![2, 3, 4]);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "tracer needs capacity")]
+    fn zero_capacity_rejected() {
+        RingTracer::new(0);
+    }
+
+    #[test]
+    fn counters_add_and_reset() {
+        let mut m = Metrics::new();
+        let a = m.counter("a");
+        let b = m.counter("b");
+        m.add(a, 5);
+        m.inc(b);
+        assert_eq!(m.counter_value(a), 5);
+        let snap = m.snapshot(SimTime(10));
+        assert_eq!(snap.counter("a"), Some(5));
+        assert_eq!(snap.counter("b"), Some(1));
+        assert_eq!(snap.counter("missing"), None);
+        m.reset(SimTime(10));
+        assert_eq!(m.counter_value(a), 0);
+    }
+
+    #[test]
+    fn gauge_mean_is_time_weighted() {
+        let mut m = Metrics::new();
+        let g = m.gauge("depth");
+        // 0 for 10 ns, then 4 for 30 ns: mean = (0*10 + 4*30) / 40 = 3.
+        m.gauge_set(g, SimTime(10), 4.0);
+        let snap = m.snapshot(SimTime(40));
+        let gs = snap.gauge("depth").unwrap();
+        assert!((gs.mean - 3.0).abs() < 1e-9, "mean {}", gs.mean);
+        assert_eq!(gs.max, 4.0);
+        assert_eq!(gs.last, 4.0);
+    }
+
+    #[test]
+    fn gauge_reset_rebases_window() {
+        let mut m = Metrics::new();
+        let g = m.gauge("q");
+        m.gauge_set(g, SimTime(0), 100.0);
+        // Warm-up holds 100; reset at t=50 must forget it.
+        m.reset(SimTime(50));
+        m.gauge_set(g, SimTime(60), 2.0);
+        // 100 for 10 ns then 2 for 40 ns: mean = (1000 + 80) / 50 = 21.6.
+        let snap = m.snapshot(SimTime(100));
+        let gs = snap.gauge("q").unwrap();
+        assert!((gs.mean - 21.6).abs() < 1e-9, "mean {}", gs.mean);
+        // Max restarts from the value held at reset time.
+        assert_eq!(gs.max, 100.0);
+        m.reset(SimTime(100));
+        assert_eq!(m.snapshot(SimTime(100)).gauge("q").unwrap().max, 2.0);
+    }
+
+    #[test]
+    fn gauge_tolerates_time_regression() {
+        let mut m = Metrics::new();
+        let g = m.gauge("q");
+        m.gauge_set(g, SimTime(100), 5.0);
+        // A slightly-earlier update (worker virtual clock) must not
+        // accrue negative time.
+        m.gauge_set(g, SimTime(90), 7.0);
+        let snap = m.snapshot(SimTime(200));
+        assert_eq!(snap.gauge("q").unwrap().max, 7.0);
+        assert!(snap.gauge("q").unwrap().mean > 0.0);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_ordered() {
+        let build = || {
+            let mut m = Metrics::new();
+            let c = m.counter("faults");
+            let g = m.gauge("outstanding");
+            m.add(c, 3);
+            m.gauge_set(g, SimTime(5), 2.0);
+            m.snapshot(SimTime(10)).to_json()
+        };
+        let a = build();
+        assert_eq!(a, build());
+        assert!(a.contains("\"faults\":3"), "{a}");
+        // Registration order, not alphabetical.
+        assert!(a.find("faults").unwrap() < a.find("outstanding").unwrap());
+    }
+
+    #[test]
+    fn trace_json_roundtrips_shape() {
+        let events = [ev(1, "alpha"), ev(2, "beta")];
+        let json = trace_to_json(&events);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"e\":\"alpha\""));
+        assert!(json.contains("\"t\":2"));
+        assert_eq!(json.matches('{').count(), 2);
+    }
+}

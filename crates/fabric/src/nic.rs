@@ -64,6 +64,17 @@ struct Qp {
     cq: CqId,
 }
 
+/// Aggregate QP-occupancy accounting at one instant, for computing
+/// time-weighted mean occupancy over a measurement window (diff two
+/// snapshots and divide by the window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OccupancySnapshot {
+    /// Time integral of total outstanding work requests, in WR × ns.
+    pub weighted_ns: u128,
+    /// Maximum total outstanding observed since NIC creation.
+    pub max: u32,
+}
+
 /// The compute-node RNIC together with the RDMA link to the memory node.
 #[derive(Debug, Clone)]
 pub struct RdmaNic {
@@ -78,6 +89,11 @@ pub struct RdmaNic {
     ctrl_bytes: u32,
     posted_reads: u64,
     posted_writes: u64,
+    /// Time integral of total outstanding WRs (WR × ns), up to
+    /// `occ_since`.
+    occ_weighted: u128,
+    occ_since: SimTime,
+    occ_max: u32,
 }
 
 impl RdmaNic {
@@ -97,7 +113,21 @@ impl RdmaNic {
             ctrl_bytes: 16,
             posted_reads: 0,
             posted_writes: 0,
+            occ_weighted: 0,
+            occ_since: SimTime::ZERO,
+            occ_max: 0,
             params,
+        }
+    }
+
+    /// Accrues occupancy-time up to `now`. Non-monotone timestamps
+    /// (worker virtual clocks run slightly ahead of the event clock)
+    /// are tolerated by never accruing negative intervals.
+    fn advance_occupancy(&mut self, now: SimTime) {
+        if now > self.occ_since {
+            let held = self.total_outstanding() as u128;
+            self.occ_weighted += held * now.since(self.occ_since).as_nanos() as u128;
+            self.occ_since = now;
         }
     }
 
@@ -123,12 +153,14 @@ impl RdmaNic {
         bytes: u32,
         mem: &mut MemNode,
     ) -> Result<Completion, PostError> {
-        let q = &mut self.qps[qp.0 as usize];
-        if q.outstanding >= self.params.qp_depth {
+        if self.qps[qp.0 as usize].outstanding >= self.params.qp_depth {
             return Err(PostError::QpFull);
         }
+        self.advance_occupancy(now);
+        let q = &mut self.qps[qp.0 as usize];
         q.outstanding += 1;
         let cq = q.cq;
+        self.occ_max = self.occ_max.max(self.total_outstanding());
 
         // Doorbell + shared WQE engine (single FIFO server).
         let ready = now + self.params.doorbell;
@@ -156,7 +188,8 @@ impl RdmaNic {
         Ok(Completion { qp, cq, done_at })
     }
 
-    /// Consumes a completion: decrements the QP's outstanding count.
+    /// Consumes a completion at `now`: decrements the QP's outstanding
+    /// count and accrues occupancy-time.
     ///
     /// Must be called in completion-time order (the runtime processes
     /// completion events through its time-ordered queue, which
@@ -165,10 +198,24 @@ impl RdmaNic {
     /// # Panics
     ///
     /// Panics if the QP has no outstanding request.
-    pub fn on_cqe(&mut self, qp: QpId) {
+    pub fn on_cqe(&mut self, now: SimTime, qp: QpId) {
+        self.advance_occupancy(now);
         let q = &mut self.qps[qp.0 as usize];
         assert!(q.outstanding > 0, "CQE for idle QP {qp:?}");
         q.outstanding -= 1;
+    }
+
+    /// Takes an occupancy snapshot at `now` (see [`OccupancySnapshot`]).
+    pub fn occupancy(&self, now: SimTime) -> OccupancySnapshot {
+        let mut weighted = self.occ_weighted;
+        if now > self.occ_since {
+            weighted +=
+                self.total_outstanding() as u128 * now.since(self.occ_since).as_nanos() as u128;
+        }
+        OccupancySnapshot {
+            weighted_ns: weighted,
+            max: self.occ_max,
+        }
     }
 
     /// Outstanding work requests on `qp` (the PF-aware dispatch signal).
@@ -241,7 +288,7 @@ mod tests {
             .unwrap();
         assert_eq!(nic.outstanding(QpId(2)), 2);
         assert_eq!(nic.total_outstanding(), 2);
-        nic.on_cqe(QpId(2));
+        nic.on_cqe(SimTime(5_000), QpId(2));
         assert_eq!(nic.outstanding(QpId(2)), 1);
     }
 
@@ -260,7 +307,7 @@ mod tests {
         let err = nic.post(SimTime(0), QpId(0), Verb::Read, 2, 4096, &mut mem);
         assert_eq!(err, Err(PostError::QpFull));
         // A CQE frees a slot.
-        nic.on_cqe(QpId(0));
+        nic.on_cqe(SimTime(5_000), QpId(0));
         assert!(nic
             .post(SimTime(0), QpId(0), Verb::Read, 2, 4096, &mut mem)
             .is_ok());
@@ -355,6 +402,24 @@ mod tests {
     #[should_panic(expected = "CQE for idle QP")]
     fn spurious_cqe_panics() {
         let (mut nic, _) = setup();
-        nic.on_cqe(QpId(0));
+        nic.on_cqe(SimTime(0), QpId(0));
+    }
+
+    #[test]
+    fn occupancy_is_time_weighted() {
+        let (mut nic, mut mem) = setup();
+        // Two WRs held from t=0; one retires at t=1000, the other at
+        // t=3000. Integral = 2*1000 + 1*2000 = 4000 WR·ns.
+        nic.post(SimTime(0), QpId(0), Verb::Read, 0, 4096, &mut mem)
+            .unwrap();
+        nic.post(SimTime(0), QpId(1), Verb::Read, 1, 4096, &mut mem)
+            .unwrap();
+        nic.on_cqe(SimTime(1_000), QpId(0));
+        nic.on_cqe(SimTime(3_000), QpId(1));
+        let occ = nic.occupancy(SimTime(3_000));
+        assert_eq!(occ.weighted_ns, 4_000);
+        assert_eq!(occ.max, 2);
+        // Idle afterwards: the integral stops growing.
+        assert_eq!(nic.occupancy(SimTime(10_000)).weighted_ns, 4_000);
     }
 }

@@ -63,6 +63,20 @@ pub struct CacheStats {
     pub dirty_evictions: u64,
 }
 
+impl CacheStats {
+    /// Counter deltas since an `earlier` snapshot of the same cache —
+    /// how the runtime scopes cache rates to the measurement window.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            coalesced: self.coalesced - earlier.coalesced,
+            evictions: self.evictions - earlier.evictions,
+            dirty_evictions: self.dirty_evictions - earlier.dirty_evictions,
+        }
+    }
+}
+
 /// The local page cache of the compute node.
 ///
 /// # Examples
@@ -374,9 +388,6 @@ impl PageCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-
-    // Explicit import: proptest's prelude also exports an `Rng` trait.
     use desim::Rng;
 
     fn cache(cap: usize, pages: u64) -> PageCache {
@@ -551,17 +562,22 @@ mod tests {
         }
     }
 
-    proptest! {
-        /// Frame conservation: free + used == capacity under arbitrary
-        /// operation sequences, and no page is ever double-mapped.
-        #[test]
-        fn frame_conservation(
-            ops in proptest::collection::vec((0u64..50, any::<bool>()), 1..300),
-            policy_idx in 0usize..3,
-        ) {
-            let policy = [EvictionPolicy::Clock, EvictionPolicy::Fifo, EvictionPolicy::Lru][policy_idx];
+    /// Frame conservation: free + used == capacity under arbitrary
+    /// operation sequences, and no page is ever double-mapped.
+    #[test]
+    fn frame_conservation() {
+        let mut rng = Rng::new(0xCACE);
+        for round in 0..48 {
+            let policy = [
+                EvictionPolicy::Clock,
+                EvictionPolicy::Fifo,
+                EvictionPolicy::Lru,
+            ][round % 3];
             let mut c = PageCache::new(8, 50, policy);
-            for (page, write) in ops {
+            let ops = 1 + rng.gen_range(299) as usize;
+            for _ in 0..ops {
+                let page = rng.gen_range(50);
+                let write = rng.gen_bool(0.5);
                 match c.lookup(page) {
                     PageState::Resident => c.touch(page, write),
                     PageState::InFlight => c.complete_fetch(page),
@@ -571,26 +587,34 @@ mod tests {
                             // evictable victim; otherwise eviction must
                             // make room.
                             if c.evict_one().is_some() {
-                                prop_assert!(c.begin_fetch(page));
+                                assert!(c.begin_fetch(page));
                             }
                         }
                     }
                 }
-                prop_assert_eq!(c.free_frames() + c.used_frames(), c.capacity());
+                assert_eq!(c.free_frames() + c.used_frames(), c.capacity());
                 // No double mapping: each frame's page is unique.
-                let resident: Vec<u64> = (0..50)
+                let resident = (0..50)
                     .filter(|&p| c.lookup(p) != PageState::NotResident)
-                    .collect();
-                prop_assert!(resident.len() <= c.capacity());
+                    .count();
+                assert!(resident <= c.capacity());
             }
         }
+    }
 
-        /// Evicting until empty returns every resident page exactly once.
-        #[test]
-        fn eviction_drains(pages in proptest::collection::hash_set(0u64..100, 1..8)) {
+    /// Evicting until empty returns every resident page exactly once.
+    #[test]
+    fn eviction_drains() {
+        let mut rng = Rng::new(0xD2A1);
+        for _ in 0..48 {
+            let mut pages = std::collections::HashSet::new();
+            let n = 1 + rng.gen_range(7) as usize;
+            while pages.len() < n {
+                pages.insert(rng.gen_range(100));
+            }
             let mut c = cache(8, 100);
             for &p in &pages {
-                prop_assert!(c.begin_fetch(p));
+                assert!(c.begin_fetch(p));
                 c.complete_fetch(p);
             }
             let mut evicted = Vec::new();
@@ -600,8 +624,8 @@ mod tests {
             evicted.sort_unstable();
             let mut expect: Vec<u64> = pages.into_iter().collect();
             expect.sort_unstable();
-            prop_assert_eq!(evicted, expect);
-            prop_assert_eq!(c.free_frames(), c.capacity());
+            assert_eq!(evicted, expect);
+            assert_eq!(c.free_frames(), c.capacity());
         }
     }
 }

@@ -23,6 +23,7 @@ fn main() {
                 keep_breakdowns: false,
                 burst: None,
                 timeline_bucket: None,
+                trace_capacity: None,
             };
             let mut w = ArrayIndexWorkload::new(pages);
             let res = run_one(SystemConfig::for_kind(kind), &mut w, params);

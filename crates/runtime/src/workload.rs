@@ -176,8 +176,7 @@ impl<A: Workload, B: Workload> MixedWorkload<A, B> {
         // The Workload trait hands out 'static class tables; build the
         // concatenation once per mix (leaked: a handful of pointers per
         // experiment configuration).
-        let combined: Vec<&'static str> =
-            a.classes().iter().chain(b.classes()).copied().collect();
+        let combined: Vec<&'static str> = a.classes().iter().chain(b.classes()).copied().collect();
         MixedWorkload {
             classes: Box::leak(combined.into_boxed_slice()),
             a,

@@ -39,4 +39,4 @@ pub use buffer::{BufferPool, PAPER_BUFFER_SIZE, PAPER_POOL_SIZE};
 pub use context::Context;
 pub use heavy::HeavyContext;
 pub use mt::{FaultCtx, MdNode, NodeConfig};
-pub use runner::{Runner, ThreadId, Yielder};
+pub use runner::{Runner, SwitchStats, ThreadId, Yielder};

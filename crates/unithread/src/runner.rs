@@ -35,6 +35,21 @@ pub enum SpawnError {
 
 type EntryFn = Box<dyn FnOnce(&mut Yielder)>;
 
+/// Context-switch accounting of one runner.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwitchStats {
+    /// Unithreads spawned.
+    pub spawns: u64,
+    /// Parks (the page-fault handler's yield).
+    pub parks: u64,
+    /// Unparks (fetch completions making a thread runnable).
+    pub unparks: u64,
+    /// Unithreads run to completion.
+    pub finishes: u64,
+    /// One-way context switches performed.
+    pub switches: u64,
+}
+
 struct Core {
     pool: BufferPool,
     state: Vec<State>,
@@ -43,7 +58,7 @@ struct Core {
     ready: VecDeque<u32>,
     current: Option<u32>,
     panic_payload: Option<Box<dyn std::any::Any + Send>>,
-    switches: u64,
+    stats: SwitchStats,
 }
 
 thread_local! {
@@ -80,6 +95,7 @@ impl Yielder {
         // SAFETY: as in `yield_now`.
         let core = unsafe { &mut *self.core };
         core.state[self.tid as usize] = State::Parked;
+        core.stats.parks += 1;
         self.switch_to_runner();
     }
 
@@ -97,7 +113,7 @@ impl Yielder {
         // when the runner resumes us.
         let (own, main) = unsafe {
             let c = &mut *self.core;
-            c.switches += 1;
+            c.stats.switches += 1;
             (c.pool.context_ptr(self.tid), &raw const c.main_ctx)
         };
         // SAFETY: see above; both context blocks stay allocated.
@@ -126,7 +142,8 @@ extern "C" fn trampoline(arg: u64) -> ! {
             c.panic_payload = Some(payload);
         }
         c.state[tid as usize] = State::Finished;
-        c.switches += 1;
+        c.stats.finishes += 1;
+        c.stats.switches += 1;
         (c.pool.context_ptr(tid), &raw const c.main_ctx)
     };
     // SAFETY: contexts derived above remain valid; the runner resumes
@@ -179,7 +196,7 @@ impl Runner {
                 ready: VecDeque::new(),
                 current: None,
                 panic_payload: None,
-                switches: 0,
+                stats: SwitchStats::default(),
             }),
         }
     }
@@ -206,6 +223,7 @@ impl Runner {
         unsafe { core.pool.context_ptr(idx).write(ctx) };
         core.state[idx as usize] = State::Ready;
         core.ready.push_back(idx);
+        core.stats.spawns += 1;
         Ok(ThreadId(idx))
     }
 
@@ -228,7 +246,7 @@ impl Runner {
             debug_assert_eq!(c.state[tid as usize], State::Ready);
             c.state[tid as usize] = State::Running;
             c.current = Some(tid);
-            c.switches += 1;
+            c.stats.switches += 1;
             (tid, &raw mut c.main_ctx, c.pool.context_ptr(tid))
         };
         let prev = CURRENT_CORE.with(|c| c.replace(core));
@@ -275,6 +293,7 @@ impl Runner {
         );
         core.state[tid.0 as usize] = State::Ready;
         core.ready.push_back(tid.0);
+        core.stats.unparks += 1;
     }
 
     /// Threads currently ready to run.
@@ -289,7 +308,13 @@ impl Runner {
 
     /// One-way context switches performed so far.
     pub fn switch_count(&self) -> u64 {
-        self.core.switches
+        self.core.stats.switches
+    }
+
+    /// Full context-switch accounting (spawns, parks, unparks,
+    /// finishes, switches).
+    pub fn stats(&self) -> SwitchStats {
+        self.core.stats
     }
 
     /// Reads a finished-or-live thread's payload area (e.g. a reply the
@@ -447,6 +472,25 @@ mod tests {
         let mut r = runner(1);
         let tid = r.spawn(b"", |_| {}).unwrap();
         r.unpark(tid);
+    }
+
+    #[test]
+    fn switch_stats_account_for_lifecycle() {
+        let mut r = runner(4);
+        let t1 = r.spawn(b"", |y| y.park()).unwrap();
+        r.spawn(b"", |y| y.yield_now()).unwrap();
+        r.run_until_idle(); // t1 parks; t2 yields then finishes
+        r.unpark(t1);
+        r.run_until_idle(); // t1 finishes
+        let s = r.stats();
+        assert_eq!(s.spawns, 2);
+        assert_eq!(s.parks, 1);
+        assert_eq!(s.unparks, 1);
+        assert_eq!(s.finishes, 2);
+        // Every dispatch and every return is one one-way switch: t1 runs
+        // twice (park + finish), t2 twice (yield + finish) → 8 switches.
+        assert_eq!(s.switches, 8);
+        assert_eq!(s.switches, r.switch_count());
     }
 
     #[test]

@@ -29,6 +29,7 @@ fn main() {
                 keep_breakdowns: false,
                 burst,
                 timeline_bucket: Some(SimDuration::from_micros(500)),
+                trace_capacity: None,
             },
         );
         let tl = r.timeline.as_ref().expect("timeline requested");

@@ -30,6 +30,7 @@ fn main() {
                     keep_breakdowns: false,
                     burst: None,
                     timeline_bucket: None,
+                    trace_capacity: None,
                 },
             );
             let h = result.recorder.overall();
@@ -72,6 +73,7 @@ fn main() {
                     keep_breakdowns: false,
                     burst: None,
                     timeline_bucket: None,
+                    trace_capacity: None,
                 },
             );
             total += result.recorder.overall().percentile(99.9) as f64;

@@ -36,6 +36,7 @@ fn main() {
                 keep_breakdowns: false,
                 burst: None,
                 timeline_bucket: None,
+                trace_capacity: None,
             },
         );
         let g = result.recorder.class(CLASS_GET);

@@ -38,6 +38,7 @@ fn main() {
                     keep_breakdowns: false,
                     burst: None,
                     timeline_bucket: None,
+                    trace_capacity: None,
                 },
             );
             let h = result.recorder.overall();

@@ -15,6 +15,7 @@ fn params(seed: u64) -> RunParams {
         keep_breakdowns: false,
         burst: None,
         timeline_bucket: None,
+        trace_capacity: None,
     }
 }
 
@@ -76,6 +77,34 @@ fn tpcc_reproducible_including_occ() {
         "OCC retries deterministic"
     );
     assert_eq!(w1.stats().commits, w2.stats().commits);
+}
+
+#[test]
+fn metrics_and_trace_json_bitwise_reproducible() {
+    // The observability layer inherits the simulation's determinism:
+    // equal seeds serialise to byte-identical metrics + trace JSON.
+    let mut p = params(5);
+    p.trace_capacity = Some(200_000);
+    let mut w1 = ArrayIndexWorkload::new(16_384);
+    let mut w2 = ArrayIndexWorkload::new(16_384);
+    let a = run_one(SystemConfig::adios(), &mut w1, p.clone());
+    let b = run_one(SystemConfig::adios(), &mut w2, p.clone());
+    assert_eq!(a.trace_dropped, b.trace_dropped);
+    assert_eq!(
+        adios::core_api::run_json(&a),
+        adios::core_api::run_json(&b),
+        "equal seeds must serialise identically"
+    );
+
+    let mut w3 = ArrayIndexWorkload::new(16_384);
+    let mut p2 = p.clone();
+    p2.seed = 6;
+    let c = run_one(SystemConfig::adios(), &mut w3, p2);
+    assert_ne!(
+        adios::core_api::run_json(&a),
+        adios::core_api::run_json(&c),
+        "different seeds must not collide"
+    );
 }
 
 #[test]

@@ -14,6 +14,7 @@ fn params(rps: f64) -> RunParams {
         keep_breakdowns: false,
         burst: None,
         timeline_bucket: None,
+        trace_capacity: None,
     }
 }
 

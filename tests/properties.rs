@@ -1,8 +1,10 @@
-//! Property-based tests over the full stack: arbitrary loads, cache
+//! Property-based tests over the full stack: randomized loads, cache
 //! ratios and policies must never violate the simulator's invariants.
+//! Inputs are drawn from the simulator's own seeded generator so the
+//! suite is deterministic (no external property-testing dependency).
 
+use adios::desim::Rng;
 use adios::prelude::*;
-use proptest::prelude::*;
 
 fn run_micro(kind: SystemKind, rps: f64, frac: f64, seed: u64) -> RunResult {
     let mut wl = ArrayIndexWorkload::new(8_192);
@@ -18,86 +20,101 @@ fn run_micro(kind: SystemKind, rps: f64, frac: f64, seed: u64) -> RunResult {
             keep_breakdowns: false,
             burst: None,
             timeline_bucket: None,
+            ..Default::default()
         },
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// No configuration panics, and basic accounting invariants hold.
-    #[test]
-    fn simulation_invariants(
-        kind_idx in 0usize..4,
-        rps in 50_000.0f64..3_000_000.0,
-        frac in 0.05f64..1.0,
-        seed in 0u64..1_000,
-    ) {
-        let kind = SystemKind::all()[kind_idx];
+/// No configuration panics, and basic accounting invariants hold.
+#[test]
+fn simulation_invariants() {
+    let mut gen = Rng::new(0x51AB);
+    for case in 0..24 {
+        let kind = SystemKind::all()[case % 4];
+        let rps = 50_000.0 + gen.gen_f64() * 2_950_000.0;
+        let frac = 0.05 + gen.gen_f64() * 0.95;
+        let seed = gen.gen_range(1_000);
         let r = run_micro(kind, rps, frac, seed);
+        let ctx = format!("{} rps={rps:.0} frac={frac:.3} seed={seed}", kind.name());
 
         // Latency percentiles are ordered.
         let h = r.recorder.overall();
-        prop_assert!(h.percentile(50.0) <= h.percentile(99.0));
-        prop_assert!(h.percentile(99.0) <= h.percentile(99.9));
+        assert!(h.percentile(50.0) <= h.percentile(99.0), "{ctx}");
+        assert!(h.percentile(99.0) <= h.percentile(99.9), "{ctx}");
 
         // Utilisation is a fraction.
-        prop_assert!((0.0..=1.0).contains(&r.rdma_data_util));
-        prop_assert!((0.0..=1.0).contains(&r.rdma_ctrl_util));
+        assert!((0.0..=1.0).contains(&r.rdma_data_util), "{ctx}");
+        assert!((0.0..=1.0).contains(&r.rdma_ctrl_util), "{ctx}");
 
         // Spin time cannot exceed total worker time.
-        prop_assert!(r.spin_fraction() <= 1.0 + 1e-9);
+        assert!(
+            r.spin_fraction() <= 1.0 + 1e-9,
+            "{ctx}: {}",
+            r.spin_fraction()
+        );
 
-        // Cache accounting: hits + misses + coalesced cover accesses;
-        // misses imply fetch traffic unless everything is local. Zero
-        // misses are only guaranteed when the rounded frame count
-        // covers every page.
+        // Cache accounting: zero misses are only guaranteed when the
+        // rounded frame count covers every page; no misses implies no
+        // fetch traffic.
         if ((8_192.0 * frac).round() as u64) >= 8_192 {
-            prop_assert_eq!(r.cache.misses, 0);
+            assert_eq!(r.cache.misses, 0, "{ctx}");
         }
         if r.cache.misses == 0 {
-            prop_assert!(r.rdma_data_util < 1e-6);
+            assert!(r.rdma_data_util < 1e-6, "{ctx}");
         }
 
         // Throughput can never exceed offered load (completions in the
         // window come from the same open-loop process).
-        prop_assert!(r.recorder.achieved_rps() <= rps * 1.15 + 50_000.0);
+        assert!(r.recorder.achieved_rps() <= rps * 1.15 + 50_000.0, "{ctx}");
     }
+}
 
-    /// The yield policy never spins (beyond QP-full pauses, which are
-    /// bounded by fetch latency).
-    #[test]
-    fn adios_never_spins_meaningfully(
-        rps in 100_000.0f64..2_400_000.0,
-        seed in 0u64..100,
-    ) {
+/// The yield policy never spins (beyond QP-full pauses, which are
+/// bounded by fetch latency).
+#[test]
+fn adios_never_spins_meaningfully() {
+    let mut gen = Rng::new(0xAD10);
+    for _ in 0..8 {
+        let rps = 100_000.0 + gen.gen_f64() * 2_300_000.0;
+        let seed = gen.gen_range(100);
         let r = run_micro(SystemKind::Adios, rps, 0.2, seed);
-        prop_assert!(
+        assert!(
             r.spin_fraction() < 0.05,
-            "spin fraction {} at {} rps",
+            "spin fraction {} at {} rps (seed {seed})",
             r.spin_fraction(),
             rps
         );
     }
+}
 
-    /// Busy-wait spin time scales with the miss rate.
-    #[test]
-    fn dilos_spin_tracks_misses(frac in 0.1f64..0.9) {
+/// Busy-wait spin time scales with the miss rate.
+#[test]
+fn dilos_spin_tracks_misses() {
+    for frac in [0.1, 0.3, 0.5, 0.7, 0.9] {
         let r = run_micro(SystemKind::Dilos, 1_000_000.0, frac, 3);
-        let miss_rate =
-            r.cache.misses as f64 / (r.cache.hits + r.cache.misses).max(1) as f64;
+        let miss_rate = r.cache.misses as f64 / (r.cache.hits + r.cache.misses).max(1) as f64;
         if miss_rate > 0.4 {
-            prop_assert!(r.spin_fraction() > 0.1, "spin {}", r.spin_fraction());
+            assert!(
+                r.spin_fraction() > 0.1,
+                "frac {frac}: spin {}",
+                r.spin_fraction()
+            );
         }
         if miss_rate < 0.05 {
-            prop_assert!(r.spin_fraction() < 0.1, "spin {}", r.spin_fraction());
+            assert!(
+                r.spin_fraction() < 0.1,
+                "frac {frac}: spin {}",
+                r.spin_fraction()
+            );
         }
     }
+}
 
-    /// Breakdown components of any run stay below the recorded e2e
-    /// latency budget in aggregate.
-    #[test]
-    fn breakdowns_are_sane(seed in 0u64..50) {
+/// Breakdown components of any run stay below the recorded e2e latency
+/// budget in aggregate.
+#[test]
+fn breakdowns_are_sane() {
+    for seed in [0u64, 7, 13, 29, 43] {
         let mut wl = ArrayIndexWorkload::new(8_192);
         let mut r = run_one(
             SystemConfig::dilos(),
@@ -111,28 +128,26 @@ proptest! {
                 keep_breakdowns: true,
                 burst: None,
                 timeline_bucket: None,
+                ..Default::default()
             },
         );
         let p50_e2e = r.recorder.overall().percentile(50.0) as f64;
         let b = r.recorder.breakdown_at(50.0);
-        let total = b.mean.queueing_ns + b.mean.handling_ns + b.mean.rdma_ns
-            + b.mean.ctxswitch_ns;
+        let total = b.mean.queueing_ns + b.mean.handling_ns + b.mean.rdma_ns + b.mean.ctxswitch_ns;
         // The on-node components cannot exceed end-to-end latency (which
         // additionally includes the client links), modulo bucketing.
-        prop_assert!(
+        assert!(
             total <= p50_e2e * 1.25,
-            "components {total} vs e2e {p50_e2e}"
+            "seed {seed}: components {total} vs e2e {p50_e2e}"
         );
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// Workload traces from the applications always replay to completion
-    /// (no stuck requests) at a light load.
-    #[test]
-    fn app_traces_always_complete(seed in 0u64..20) {
+/// Workload traces from the applications always replay to completion
+/// (no stuck requests) at a light load.
+#[test]
+fn app_traces_always_complete() {
+    for seed in [1u64, 5, 17] {
         let mut wl = MemcachedWorkload::new(30_000, 128);
         let r = run_one(
             SystemConfig::adios(),
@@ -146,9 +161,10 @@ proptest! {
                 keep_breakdowns: false,
                 burst: None,
                 timeline_bucket: None,
+                ..Default::default()
             },
         );
-        prop_assert_eq!(r.recorder.dropped(), 0);
-        prop_assert!(r.recorder.completed_in_window() > 500);
+        assert_eq!(r.recorder.dropped(), 0, "seed {seed}");
+        assert!(r.recorder.completed_in_window() > 500, "seed {seed}");
     }
 }
