@@ -4,11 +4,14 @@
 //! ADIOS_FULL=1 cargo run -p bench --bin experiments_md --release
 //! ```
 //!
-//! With `--trace`, skips the sweep and instead runs one short traced
-//! run per system, prints the virtual-time event timeline and writes
-//! the full per-run JSON (metrics registry + trace) under `results/`.
+//! Smoke flags skip the sweep and instead run one short instrumented
+//! run per system: `--trace` prints the virtual-time event timeline
+//! and writes the full per-run JSON, `--spans` records per-request
+//! span trees and writes tail exemplars as Perfetto JSON. Run with
+//! `--help` for the full flag list.
 
 use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::time::Instant;
 
 use adios_core::prelude::*;
@@ -17,55 +20,186 @@ use adios_core::{experiments, run_json, FigureReport, Scale};
 /// One named experiment step.
 type Step = (&'static str, Box<dyn FnOnce(Scale) -> FigureReport>);
 
-/// `--trace` mode: short traced runs, timeline on stdout, JSON under
-/// `results/trace_<system>.json`.
-fn trace_mode() {
-    let dir = std::path::Path::new("results");
-    std::fs::create_dir_all(dir).expect("create results/");
+const USAGE: &str = "\
+usage: experiments_md [FLAGS]
+
+With no flags, runs every experiment and writes EXPERIMENTS.md.
+Any smoke flag (--trace / --spans / --perfetto) skips the sweep and
+runs one short instrumented run per system instead.
+
+flags:
+  --help             print this message and exit
+  --trace            print the virtual-time event timeline and write
+                     per-run JSON to <out-dir>/trace_<system>.json
+  --trace-cap N      ring-buffer capacity for --trace (default 100000)
+  --spans            record per-request span trees; writes the tail
+                     exemplars as Perfetto JSON to
+                     <out-dir>/spans_<system>.json
+  --perfetto <path>  also write the Adios run's Perfetto JSON to
+                     exactly <path> (implies --spans)
+  --out-dir <dir>    output directory (default: results)";
+
+/// Parsed command line.
+struct Cli {
+    trace: bool,
+    trace_cap: usize,
+    spans: bool,
+    perfetto: Option<PathBuf>,
+    out_dir: PathBuf,
+}
+
+impl Cli {
+    fn smoke(&self) -> bool {
+        self.trace || self.spans || self.perfetto.is_some()
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("experiments_md: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_args(args: &[String]) -> Cli {
+    let mut cli = Cli {
+        trace: false,
+        trace_cap: 100_000,
+        spans: false,
+        perfetto: None,
+        out_dir: PathBuf::from("results"),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--trace" => cli.trace = true,
+            "--spans" => cli.spans = true,
+            "--trace-cap" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("--trace-cap requires a value"));
+                cli.trace_cap = v
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("invalid --trace-cap value: {v}")));
+                if cli.trace_cap == 0 {
+                    die("--trace-cap must be positive");
+                }
+            }
+            "--perfetto" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("--perfetto requires a path"));
+                cli.perfetto = Some(PathBuf::from(v));
+                cli.spans = true;
+            }
+            "--out-dir" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("--out-dir requires a path"));
+                cli.out_dir = PathBuf::from(v);
+            }
+            other => die(&format!("unknown argument: {other}")),
+        }
+    }
+    cli
+}
+
+/// Smoke mode: one short instrumented run per system; timelines and
+/// span trees on disk, summaries on stdout.
+fn smoke_mode(cli: &Cli) {
+    std::fs::create_dir_all(&cli.out_dir).expect("create output directory");
     for kind in [SystemKind::Dilos, SystemKind::Adios] {
         let mut workload = ArrayIndexWorkload::new(16_384);
         let params = RunParams {
             offered_rps: 800_000.0,
             warmup: SimDuration::from_millis(1),
             measure: SimDuration::from_millis(2),
-            trace_capacity: Some(100_000),
+            trace_capacity: cli.trace.then_some(cli.trace_cap),
+            spans: cli
+                .spans
+                .then(|| desim::SpanConfig::with_exemplars(99.0, 64)),
             ..Default::default()
         };
         let res = run_one(SystemConfig::for_kind(kind), &mut workload, params);
-        let trace = res.trace.as_deref().unwrap_or(&[]);
-        println!(
-            "==== {kind:?}: virtual-time trace ({} events, {} dropped) ====",
-            trace.len(),
-            res.trace_dropped
-        );
-        // The full timeline is in the JSON; print a readable head.
-        for ev in trace.iter().take(40) {
+        let system = format!("{kind:?}").to_lowercase();
+
+        if cli.trace {
+            let trace = res.trace.as_deref().unwrap_or(&[]);
             println!(
-                "{:>12} ns  {:<9} {:<12} a={:<8} b={}",
-                ev.at.as_nanos(),
-                ev.component,
-                ev.name,
-                ev.a,
-                ev.b
+                "==== {kind:?}: virtual-time trace ({} events, {} dropped) ====",
+                trace.len(),
+                res.trace_dropped
             );
+            if res.trace_dropped > 0 {
+                eprintln!(
+                    "warning: {kind:?} trace truncated — {} events dropped; \
+                     raise --trace-cap (currently {})",
+                    res.trace_dropped, cli.trace_cap
+                );
+            }
+            // The full timeline is in the JSON; print a readable head.
+            for ev in trace.iter().take(40) {
+                println!(
+                    "{:>12} ns  {:<9} {:<12} a={:<8} b={}",
+                    ev.at.as_nanos(),
+                    ev.component,
+                    ev.name,
+                    ev.a,
+                    ev.b
+                );
+            }
+            if trace.len() > 40 {
+                println!("… {} more events (see JSON)", trace.len() - 40);
+            }
+            let path = cli.out_dir.join(format!("trace_{system}.json"));
+            std::fs::write(&path, run_json(&res)).expect("write trace JSON");
+            println!("wrote {}\n", path.display());
         }
-        if trace.len() > 40 {
-            println!("… {} more events (see JSON)", trace.len() - 40);
+
+        if let Some(report) = &res.spans {
+            println!(
+                "==== {kind:?}: critical-path stages ({} measured requests, {} tail exemplars) ====",
+                report.measured,
+                report.exemplars.len()
+            );
+            for (name, h) in report.stats.iter() {
+                if h.count() == 0 {
+                    continue;
+                }
+                println!(
+                    "{name:>12}: p50 {:>8} ns  p99 {:>8} ns  p99.9 {:>8} ns",
+                    h.percentile(50.0),
+                    h.percentile(99.0),
+                    h.percentile(99.9)
+                );
+            }
+            let perfetto = desim::span::perfetto_json(&report.exemplars);
+            let path = cli.out_dir.join(format!("spans_{system}.json"));
+            std::fs::write(&path, &perfetto).expect("write span JSON");
+            println!(
+                "wrote {} (open at https://ui.perfetto.dev)\n",
+                path.display()
+            );
+            if kind == SystemKind::Adios {
+                if let Some(p) = &cli.perfetto {
+                    if let Some(parent) = p.parent().filter(|d| !d.as_os_str().is_empty()) {
+                        std::fs::create_dir_all(parent).expect("create perfetto directory");
+                    }
+                    std::fs::write(p, &perfetto).expect("write perfetto JSON");
+                    println!("wrote {}\n", p.display());
+                }
+            }
         }
-        let path = dir.join(format!("trace_{}.json", format!("{kind:?}").to_lowercase()));
-        std::fs::write(&path, run_json(&res)).expect("write trace JSON");
-        println!("wrote {}\n", path.display());
     }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(unknown) = args.iter().find(|a| *a != "--trace") {
-        eprintln!("unknown argument: {unknown} (supported: --trace)");
-        std::process::exit(2);
-    }
-    if !args.is_empty() {
-        trace_mode();
+    let cli = parse_args(&args);
+    if cli.smoke() {
+        smoke_mode(&cli);
         return;
     }
     let scale = Scale::from_env();
@@ -125,11 +259,13 @@ fn main() {
         .map(|v| v == "1")
         .unwrap_or(false)
     {
-        let dir = std::path::Path::new("results");
         for r in &reports {
-            r.write_csvs(dir).expect("write CSVs");
+            r.write_csvs(&cli.out_dir).expect("write CSVs");
         }
-        eprintln!("[experiments-md] wrote per-series CSVs under results/");
+        eprintln!(
+            "[experiments-md] wrote per-series CSVs under {}/",
+            cli.out_dir.display()
+        );
     }
     eprintln!(
         "[experiments-md] wrote EXPERIMENTS.md ({} reports, {} misses) in {:.0} s",

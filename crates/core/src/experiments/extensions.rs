@@ -350,6 +350,7 @@ pub fn burst_tolerance(scale: Scale) -> FigureReport {
             burst: Some((1.9, SimDuration::from_micros(400))),
             timeline_bucket: Some(SimDuration::from_micros(200)),
             trace_capacity: None,
+            spans: None,
         };
         let r = Simulation::new(cfg, &mut wl, params).run();
         if i == 0 {
@@ -406,6 +407,7 @@ pub fn scalability(scale: Scale) -> FigureReport {
             burst: None,
             timeline_bucket: None,
             trace_capacity: None,
+            spans: None,
         };
         let r = Simulation::new(cfg, &mut wl, params).run();
         let achieved = r.recorder.achieved_rps();
@@ -549,6 +551,7 @@ pub fn faiss_nprobe(scale: Scale) -> FigureReport {
             burst: None,
             timeline_bucket: None,
             trace_capacity: None,
+            spans: None,
         };
         let r = Simulation::new(SystemConfig::adios(), &mut wl, params).run();
         let p50 = r.recorder.overall().percentile(50.0);

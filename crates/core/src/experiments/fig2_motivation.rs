@@ -65,23 +65,23 @@ pub fn run(scale: Scale) -> FigureReport {
 
     let mut bd = Series::new(
         format!("Request-handling breakdown at {} (2c)", fmt_mrps(knee_load)),
-        "  pct     queue(us)  busywait(us)  handle(us)   rdma(us)  ctxsw(us)",
+        "  pct     queue(us)  busywait(us)  handle(us)   rdma(us)  ctxsw(us)    net(us)",
     );
     let mut p999_queue_frac = 0.0;
     for p in [10.0, 50.0, 99.0, 99.9] {
         let b = res.recorder.breakdown_at(p);
-        let total = b.mean.queueing_ns + b.mean.handling_ns + b.mean.rdma_ns + b.mean.ctxswitch_ns;
         if p == 99.9 {
-            p999_queue_frac = b.mean.queueing_ns / total.max(1.0);
+            p999_queue_frac = b.mean.queueing_ns / b.mean.total_ns().max(1.0);
         }
         bd.rows.push(format!(
-            "{:>6} {:>11.2} {:>13.2} {:>11.2} {:>10.2} {:>10.3}",
+            "{:>6} {:>11.2} {:>13.2} {:>11.2} {:>10.2} {:>10.3} {:>10.2}",
             format!("P{p}"),
             b.mean.queueing_ns / 1000.0,
             b.mean.busywait_ns / 1000.0,
             b.mean.handling_ns / 1000.0,
             b.mean.rdma_ns / 1000.0,
             b.mean.ctxswitch_ns / 1000.0,
+            b.mean.net_ns / 1000.0,
         ));
     }
     report.series.push(bd);

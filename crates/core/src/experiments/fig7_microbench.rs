@@ -49,18 +49,19 @@ pub fn run(scale: Scale) -> FigureReport {
     let mut d_res = run_with_breakdowns(&SystemConfig::dilos(), &mut wl, knee_load, scale, 0.2, 23);
     let mut bd = Series::new(
         format!("Adios breakdown at {} (7c)", fmt_mrps(knee_load)),
-        "  pct     queue(us)  busywait(us)  handle(us)   rdma(us)  ctxsw(us)",
+        "  pct     queue(us)  busywait(us)  handle(us)   rdma(us)  ctxsw(us)    net(us)",
     );
     for p in [10.0, 50.0, 99.0, 99.9] {
         let b = a_res.recorder.breakdown_at(p);
         bd.rows.push(format!(
-            "{:>6} {:>11.2} {:>13.2} {:>11.2} {:>10.2} {:>10.3}",
+            "{:>6} {:>11.2} {:>13.2} {:>11.2} {:>10.2} {:>10.3} {:>10.2}",
             format!("P{p}"),
             b.mean.queueing_ns / 1000.0,
             b.mean.busywait_ns / 1000.0,
             b.mean.handling_ns / 1000.0,
             b.mean.rdma_ns / 1000.0,
             b.mean.ctxswitch_ns / 1000.0,
+            b.mean.net_ns / 1000.0,
         ));
     }
     report.series.push(bd);

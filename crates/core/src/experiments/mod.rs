@@ -48,6 +48,8 @@ pub(crate) fn sweep(
                 burst: None,
                 timeline_bucket: None,
                 trace_capacity: None,
+                // Per-stage latency histograms for every sweep row.
+                spans: Some(desim::SpanConfig::stats_only()),
             };
             Simulation::new(cfg.clone(), workload, params).run()
         })
@@ -73,6 +75,9 @@ pub(crate) fn run_with_breakdowns(
         burst: None,
         timeline_bucket: None,
         trace_capacity: None,
+        // Full span layer: the Figure 2c/7c breakdowns are derived from
+        // the per-request span trees' critical paths.
+        spans: Some(desim::SpanConfig::default()),
     };
     Simulation::new(cfg.clone(), workload, params).run()
 }

@@ -6,7 +6,8 @@ use std::fmt::Write as _;
 
 /// Renders one run as a deterministic JSON object: load point,
 /// latency percentiles, window, utilisations, the full metrics
-/// registry and — when the run was traced — the virtual-time event
+/// registry, per-stage critical-path histograms (when the span layer
+/// was on) and — when the run was traced — the virtual-time event
 /// timeline. Field order is fixed and floats use fixed precision, so
 /// equal-seed runs serialise byte-identically (see
 /// `tests/determinism.rs`).
@@ -41,9 +42,18 @@ pub fn run_json(res: &RunResult) -> String {
         c.hits, c.misses, c.coalesced, c.evictions, c.dirty_evictions
     );
     let _ = write!(out, "\"metrics\":{},", res.metrics.to_json());
+    match &res.spans {
+        Some(report) => {
+            let _ = write!(out, "\"spans_measured\":{},", report.measured);
+            let _ = write!(out, "\"stages\":{},", report.stats.to_json());
+        }
+        None => out.push_str("\"spans_measured\":0,\"stages\":null,"),
+    }
+    // Always present, trace or not: a truncated (or absent) trace must
+    // be distinguishable from a quiet run.
+    let _ = write!(out, "\"trace_dropped\":{},", res.trace_dropped);
     match &res.trace {
         Some(events) => {
-            let _ = write!(out, "\"trace_dropped\":{},", res.trace_dropped);
             let _ = write!(out, "\"trace\":{}", desim::trace::trace_to_json(events));
         }
         None => out.push_str("\"trace\":null"),
@@ -337,6 +347,7 @@ mod tests {
             warmup: SimDuration::from_millis(1),
             measure: SimDuration::from_millis(2),
             trace_capacity: Some(10_000),
+            spans: Some(desim::SpanConfig::stats_only()),
             ..Default::default()
         };
         let res = run_one(SystemConfig::adios(), &mut w, params);
@@ -347,14 +358,22 @@ mod tests {
             "\"latency_ns\":",
             "\"metrics\":",
             "\"counters\":",
+            "\"spans_measured\":",
+            "\"stages\":{",
+            "\"trace_dropped\":",
             "\"trace\":[",
         ] {
             assert!(json.contains(key), "missing {key} in {json:.120}");
         }
-        // Untraced runs say so explicitly instead of omitting the key.
+        // Untraced / span-less runs say so explicitly instead of
+        // omitting the keys.
         let mut res2 = res;
         res2.trace = None;
-        assert!(run_json(&res2).contains("\"trace\":null"));
+        res2.spans = None;
+        let json2 = run_json(&res2);
+        assert!(json2.contains("\"trace\":null"));
+        assert!(json2.contains("\"stages\":null"));
+        assert!(json2.contains("\"trace_dropped\":"));
     }
 
     #[test]

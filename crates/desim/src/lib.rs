@@ -18,11 +18,15 @@
 //! - [`trace`] — virtual-time tracing ([`Tracer`], [`RingTracer`]) and
 //!   the typed counter/gauge registry ([`Metrics`]) every component
 //!   reports through.
+//! - [`span`] — per-request span trees ([`SpanBuilder`], [`SpanStore`])
+//!   with exact critical-path attribution ([`CriticalPath`]), per-stage
+//!   histograms, tail exemplars, and Perfetto export.
 
 pub mod event;
 pub mod hist;
 pub mod rng;
 pub mod series;
+pub mod span;
 pub mod time;
 pub mod trace;
 
@@ -30,6 +34,9 @@ pub use event::EventQueue;
 pub use hist::Histogram;
 pub use rng::Rng;
 pub use series::TimeSeries;
+pub use span::{
+    CriticalPath, Span, SpanBuilder, SpanConfig, SpanReport, SpanStore, SpanTree, StageStats,
+};
 pub use time::{SimDuration, SimTime, CYCLES_PER_SEC, NS_PER_SEC};
 pub use trace::{
     CounterId, GaugeId, Metrics, MetricsSnapshot, NoopTracer, RingTracer, TraceEvent, Tracer,

@@ -1,0 +1,1108 @@
+//! Per-request span trees, critical-path attribution, and Perfetto export.
+//!
+//! A [`SpanBuilder`] records one request's life as a tree of spans:
+//! a root `request` span covering arrival→reply, structural children
+//! (`segment` per worker occupancy, `fault` per page fault, `fetch` per
+//! RDMA read with `nic_queue`/`wire` sub-spans), and a gap-free tiling
+//! of *phase* spans ([`stage`]) that partitions the whole end-to-end
+//! interval. The tiling is enforced by construction: [`SpanBuilder::phase`]
+//! always extends from the builder's cursor (the end of the previous
+//! phase) to the given instant, so phase durations sum to the
+//! end-to-end latency *exactly* — the invariant the critical-path
+//! attribution ([`CriticalPath`]) and the figure-2c/7c breakdowns rest
+//! on.
+//!
+//! The layer is zero-cost when disabled (the runtime holds an
+//! `Option<SpanBuilder>` per request; `None` costs one branch per
+//! site) and arena-backed when on: completed trees return their span
+//! buffers to a pool inside [`SpanStore`], so steady-state recording
+//! does not allocate.
+//!
+//! [`SpanStore`] aggregates completed trees three ways:
+//!
+//! - per-stage [`Histogram`]s ([`StageStats`]) for p50/p99/p99.9 per
+//!   component on every sweep row;
+//! - optional per-request [`CriticalPath`] rows (the exact-sum
+//!   breakdown the recorder consumes);
+//! - a bounded *tail exemplar* set: full span trees are retained only
+//!   for requests whose end-to-end latency lands at or above a
+//!   configurable percentile of the running distribution, evicting the
+//!   fastest retained exemplar first, so memory stays bounded at
+//!   saturation while the trees that explain the tail survive.
+//!
+//! Exporters: [`spans_to_json`] (raw schema, deterministic) and
+//! [`perfetto_json`] (Chrome trace event format, loadable in
+//! [Perfetto](https://ui.perfetto.dev) — see `docs/MODEL.md` §7).
+
+use std::fmt::Write as _;
+
+use crate::hist::Histogram;
+use crate::time::SimTime;
+
+/// Sentinel parent index meaning "no parent" (only the root uses it).
+pub const NO_PARENT: u32 = u32::MAX;
+
+/// Phase-span names: a gap-free partition of each request's
+/// end-to-end interval. Every nanosecond of a request's latency is
+/// covered by exactly one phase span, so these sum to the root span's
+/// duration by construction.
+pub mod stage {
+    /// Client↔server network time (request delivery + reply flight).
+    pub const NET: &str = "net";
+    /// Dispatcher occupancy before the request is queued to a worker.
+    pub const DISPATCH: &str = "dispatch";
+    /// Waiting in a run queue for a worker (initial, resume, or retry).
+    pub const QUEUE: &str = "queue";
+    /// Handler compute on a worker (includes fault-entry kernel cost).
+    pub const HANDLE: &str = "handle";
+    /// Busy-wait polling for a fetch completion (wasted CPU).
+    pub const SPIN: &str = "spin";
+    /// Parked waiting for a fetch completion (worker reused elsewhere).
+    pub const FETCH_WAIT: &str = "fetch_wait";
+    /// Blocked on a full QP send queue before the fetch could post.
+    pub const QP_STALL: &str = "qp_stall";
+    /// Waiting for the reply doorbell/CQE after handler completion.
+    pub const TX_WAIT: &str = "tx_wait";
+    /// Context-switch cost (park + resume halves).
+    pub const CTX: &str = "ctx";
+    /// Reply construction and server-side network stack.
+    pub const REPLY: &str = "reply";
+}
+
+/// Structural (non-phase) span names.
+pub mod node {
+    /// Root span: one per request, arrival→client reply receipt.
+    pub const REQUEST: &str = "request";
+    /// One contiguous occupancy of a worker core.
+    pub const SEGMENT: &str = "segment";
+    /// One page fault, entry→resume (or retry chain).
+    pub const FAULT: &str = "fault";
+    /// One RDMA read, post→completion.
+    pub const FETCH: &str = "fetch";
+    /// Fetch sub-span: doorbell→NIC engine dispatch.
+    pub const NIC_QUEUE: &str = "nic_queue";
+    /// Fetch sub-span: NIC engine dispatch→DMA completion.
+    pub const WIRE: &str = "wire";
+}
+
+/// One node in a request's span tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Span name ([`stage`] or [`node`] constant).
+    pub name: &'static str,
+    /// Index of the parent span in the tree, or [`NO_PARENT`].
+    pub parent: u32,
+    /// Start instant.
+    pub start: SimTime,
+    /// End instant (`>= start`).
+    pub end: SimTime,
+    /// First payload word (meaning per name; `docs/MODEL.md` §7).
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+}
+
+impl Span {
+    /// Span length in nanoseconds.
+    #[inline]
+    pub fn dur_ns(&self) -> u64 {
+        self.end.as_nanos() - self.start.as_nanos()
+    }
+}
+
+/// A completed request's span tree. `spans[0]` is always the root
+/// `request` span; children reference parents by index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanTree {
+    /// Monotonic per-run request sequence number (arrival order).
+    pub request: u64,
+    /// Workload-defined request class.
+    pub class: u16,
+    /// The spans, root first, in emission order.
+    pub spans: Vec<Span>,
+}
+
+impl SpanTree {
+    /// End-to-end latency (root span length) in nanoseconds.
+    pub fn e2e_ns(&self) -> u64 {
+        self.spans[0].dur_ns()
+    }
+}
+
+/// Records one in-flight request's span tree.
+///
+/// The builder keeps a *cursor*: the end of the last phase span
+/// emitted. [`SpanBuilder::phase`] tiles `[cursor, until]` with the
+/// named phase and advances the cursor, clamping `until` up to the
+/// cursor so time never runs backward; instants already covered
+/// produce no span. This makes the phase tiling gap-free and
+/// overlap-free regardless of emission-site ordering quirks, which is
+/// what guarantees `Σ phases = e2e` exactly.
+#[derive(Debug)]
+pub struct SpanBuilder {
+    request: u64,
+    class: u16,
+    spans: Vec<Span>,
+    cursor: SimTime,
+    open_segment: u32,
+    open_fault: u32,
+}
+
+impl SpanBuilder {
+    /// Starts a tree for request `request` of `class`, arriving
+    /// (client transmit) at `tx`. `buf` is a recycled span buffer
+    /// (pass `Vec::new()` when not pooling).
+    pub fn new(request: u64, class: u16, tx: SimTime, mut buf: Vec<Span>) -> SpanBuilder {
+        buf.clear();
+        buf.push(Span {
+            name: node::REQUEST,
+            parent: NO_PARENT,
+            start: tx,
+            end: tx,
+            a: class as u64,
+            b: 0,
+        });
+        SpanBuilder {
+            request,
+            class,
+            spans: buf,
+            cursor: tx,
+            open_segment: NO_PARENT,
+            open_fault: NO_PARENT,
+        }
+    }
+
+    /// The end of the last phase emitted (the tiling frontier).
+    pub fn cursor(&self) -> SimTime {
+        self.cursor
+    }
+
+    /// Parent for a new phase span: innermost open structural span.
+    fn phase_parent(&self) -> u32 {
+        if self.open_fault != NO_PARENT {
+            self.open_fault
+        } else if self.open_segment != NO_PARENT {
+            self.open_segment
+        } else {
+            0
+        }
+    }
+
+    /// Tiles `[cursor, until]` with phase `name` and advances the
+    /// cursor. If `until` is not after the cursor, nothing is emitted.
+    pub fn phase(&mut self, name: &'static str, until: SimTime) {
+        if until <= self.cursor {
+            return;
+        }
+        let parent = self.phase_parent();
+        self.spans.push(Span {
+            name,
+            parent,
+            start: self.cursor,
+            end: until,
+            a: 0,
+            b: 0,
+        });
+        self.cursor = until;
+    }
+
+    /// Opens a worker-occupancy segment at `at` on worker `worker`.
+    pub fn begin_segment(&mut self, at: SimTime, worker: usize) {
+        debug_assert_eq!(self.open_segment, NO_PARENT, "segment already open");
+        self.open_segment = self.spans.len() as u32;
+        self.spans.push(Span {
+            name: node::SEGMENT,
+            parent: 0,
+            start: at,
+            end: at,
+            a: worker as u64,
+            b: 0,
+        });
+    }
+
+    /// Closes the open segment at `at` (no-op when none is open).
+    pub fn end_segment(&mut self, at: SimTime) {
+        if self.open_segment != NO_PARENT {
+            let s = &mut self.spans[self.open_segment as usize];
+            s.end = at.max(s.start);
+            self.open_segment = NO_PARENT;
+        }
+    }
+
+    /// Opens a fault span at `at` for `page`. Re-entrant: if a fault is
+    /// already open (QP-full retry re-enters the fault path), the
+    /// existing span is kept.
+    pub fn begin_fault(&mut self, at: SimTime, page: u64) {
+        if self.open_fault != NO_PARENT {
+            return;
+        }
+        let parent = if self.open_segment != NO_PARENT {
+            self.open_segment
+        } else {
+            0
+        };
+        self.open_fault = self.spans.len() as u32;
+        self.spans.push(Span {
+            name: node::FAULT,
+            parent,
+            start: at,
+            end: at,
+            a: page,
+            b: 0,
+        });
+    }
+
+    /// Closes the open fault at `at` (no-op when none is open).
+    pub fn end_fault(&mut self, at: SimTime) {
+        if self.open_fault != NO_PARENT {
+            let s = &mut self.spans[self.open_fault as usize];
+            s.end = at.max(s.start);
+            self.open_fault = NO_PARENT;
+        }
+    }
+
+    /// Records one RDMA fetch: posted at `post`, dispatched by the NIC
+    /// engine at `issued`, completed at `done`. Emits a `fetch` span
+    /// (child of the open fault, segment, or root) with `nic_queue`
+    /// and `wire` sub-spans split at `issued`.
+    pub fn fetch(&mut self, post: SimTime, issued: SimTime, done: SimTime, page: u64, qp: u64) {
+        let done = done.max(post);
+        let issued = issued.clamp(post, done);
+        let parent = self.phase_parent();
+        let fetch_idx = self.spans.len() as u32;
+        self.spans.push(Span {
+            name: node::FETCH,
+            parent,
+            start: post,
+            end: done,
+            a: page,
+            b: qp,
+        });
+        self.spans.push(Span {
+            name: node::NIC_QUEUE,
+            parent: fetch_idx,
+            start: post,
+            end: issued,
+            a: page,
+            b: qp,
+        });
+        self.spans.push(Span {
+            name: node::WIRE,
+            parent: fetch_idx,
+            start: issued,
+            end: done,
+            a: page,
+            b: qp,
+        });
+    }
+
+    /// Completes the tree: the reply reached the client at `rx`. The
+    /// caller must have tiled phases up to `rx`; any still-open
+    /// segment or fault is closed defensively.
+    pub fn finish(mut self, rx: SimTime) -> SpanTree {
+        debug_assert_eq!(self.cursor, rx, "phase tiling must reach the reply instant");
+        self.end_fault(rx);
+        self.end_segment(rx);
+        let root = &mut self.spans[0];
+        root.end = rx.max(root.start);
+        SpanTree {
+            request: self.request,
+            class: self.class,
+            spans: self.spans,
+        }
+    }
+
+    /// Abandons the tree (dropped request), returning the span buffer
+    /// for recycling.
+    pub fn into_buf(self) -> Vec<Span> {
+        self.spans
+    }
+}
+
+/// Exact attribution of one request's end-to-end latency.
+///
+/// The ten phase components sum to `e2e_ns` *exactly* (the phase
+/// tiling is gap-free by construction — see [`SpanBuilder::phase`]).
+/// `fetch_wall_ns`/`fetch_hidden_ns` are overlays, not components:
+/// wall time of RDMA fetches and the part of it overlapped by useful
+/// work (prefetch ahead of demand, or fetch racing handler compute)
+/// rather than by a stall. `spin_ns + fetch_wait_ns` is the stalled
+/// remainder — the critical-path fetch exposure the paper's figures
+/// 2c/7c call "RDMA".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// End-to-end latency (root span), ns.
+    pub e2e_ns: u64,
+    /// [`stage::NET`] total, ns.
+    pub net_ns: u64,
+    /// [`stage::DISPATCH`] total, ns.
+    pub dispatch_ns: u64,
+    /// [`stage::QUEUE`] total, ns.
+    pub queue_ns: u64,
+    /// [`stage::HANDLE`] total, ns.
+    pub handle_ns: u64,
+    /// [`stage::SPIN`] total, ns.
+    pub spin_ns: u64,
+    /// [`stage::FETCH_WAIT`] total, ns.
+    pub fetch_wait_ns: u64,
+    /// [`stage::QP_STALL`] total, ns.
+    pub qp_stall_ns: u64,
+    /// [`stage::TX_WAIT`] total, ns.
+    pub tx_wait_ns: u64,
+    /// [`stage::CTX`] total, ns.
+    pub ctx_ns: u64,
+    /// [`stage::REPLY`] total, ns.
+    pub reply_ns: u64,
+    /// Overlay: summed wall time of all `fetch` spans, ns.
+    pub fetch_wall_ns: u64,
+    /// Overlay: fetch wall time overlapped by useful work (not by a
+    /// spin or park stall), ns.
+    pub fetch_hidden_ns: u64,
+}
+
+impl CriticalPath {
+    /// Computes the attribution for one completed tree.
+    pub fn of(tree: &SpanTree) -> CriticalPath {
+        let mut cp = CriticalPath {
+            e2e_ns: tree.e2e_ns(),
+            ..CriticalPath::default()
+        };
+        // Stall intervals: the request is blocked on a fetch.
+        let mut stalls: Vec<(u64, u64)> = Vec::new();
+        let mut fetches: Vec<(u64, u64)> = Vec::new();
+        for s in &tree.spans {
+            let d = s.dur_ns();
+            match s.name {
+                stage::NET => cp.net_ns += d,
+                stage::DISPATCH => cp.dispatch_ns += d,
+                stage::QUEUE => cp.queue_ns += d,
+                stage::HANDLE => cp.handle_ns += d,
+                stage::SPIN => {
+                    cp.spin_ns += d;
+                    stalls.push((s.start.as_nanos(), s.end.as_nanos()));
+                }
+                stage::FETCH_WAIT => {
+                    cp.fetch_wait_ns += d;
+                    stalls.push((s.start.as_nanos(), s.end.as_nanos()));
+                }
+                stage::QP_STALL => cp.qp_stall_ns += d,
+                stage::TX_WAIT => cp.tx_wait_ns += d,
+                stage::CTX => cp.ctx_ns += d,
+                stage::REPLY => cp.reply_ns += d,
+                node::FETCH => fetches.push((s.start.as_nanos(), s.end.as_nanos())),
+                _ => {}
+            }
+        }
+        for &(fs, fe) in &fetches {
+            cp.fetch_wall_ns += fe - fs;
+            let stalled: u64 = stalls
+                .iter()
+                .map(|&(bs, be)| be.min(fe).saturating_sub(bs.max(fs)))
+                .sum();
+            cp.fetch_hidden_ns += (fe - fs).saturating_sub(stalled.min(fe - fs));
+        }
+        cp
+    }
+
+    /// The ten phase components as `(stage name, ns)` pairs, in
+    /// canonical order.
+    pub fn components(&self) -> [(&'static str, u64); 10] {
+        [
+            (stage::NET, self.net_ns),
+            (stage::DISPATCH, self.dispatch_ns),
+            (stage::QUEUE, self.queue_ns),
+            (stage::HANDLE, self.handle_ns),
+            (stage::SPIN, self.spin_ns),
+            (stage::FETCH_WAIT, self.fetch_wait_ns),
+            (stage::QP_STALL, self.qp_stall_ns),
+            (stage::TX_WAIT, self.tx_wait_ns),
+            (stage::CTX, self.ctx_ns),
+            (stage::REPLY, self.reply_ns),
+        ]
+    }
+
+    /// Sum of the ten phase components; equals `e2e_ns` for any tree
+    /// built through [`SpanBuilder`].
+    pub fn components_sum(&self) -> u64 {
+        self.components().iter().map(|&(_, v)| v).sum()
+    }
+}
+
+/// Canonical stage-histogram order: end-to-end first, then the ten
+/// phase components, then the two fetch overlays.
+pub const STAGES: [&str; 13] = [
+    "e2e",
+    stage::NET,
+    stage::DISPATCH,
+    stage::QUEUE,
+    stage::HANDLE,
+    stage::SPIN,
+    stage::FETCH_WAIT,
+    stage::QP_STALL,
+    stage::TX_WAIT,
+    stage::CTX,
+    stage::REPLY,
+    "fetch_wall",
+    "fetch_hidden",
+];
+
+/// Per-stage latency histograms over measured requests, in
+/// [`STAGES`] order.
+#[derive(Debug, Clone)]
+pub struct StageStats {
+    hists: Vec<(&'static str, Histogram)>,
+}
+
+impl Default for StageStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StageStats {
+    /// Creates empty histograms for every canonical stage.
+    pub fn new() -> StageStats {
+        StageStats {
+            hists: STAGES.iter().map(|&n| (n, Histogram::new())).collect(),
+        }
+    }
+
+    /// Records one request's attribution into every stage histogram.
+    pub fn record(&mut self, cp: &CriticalPath) {
+        let values = [
+            cp.e2e_ns,
+            cp.net_ns,
+            cp.dispatch_ns,
+            cp.queue_ns,
+            cp.handle_ns,
+            cp.spin_ns,
+            cp.fetch_wait_ns,
+            cp.qp_stall_ns,
+            cp.tx_wait_ns,
+            cp.ctx_ns,
+            cp.reply_ns,
+            cp.fetch_wall_ns,
+            cp.fetch_hidden_ns,
+        ];
+        for ((_, h), v) in self.hists.iter_mut().zip(values) {
+            h.record(v);
+        }
+    }
+
+    /// Histogram for `name`, if it is a canonical stage.
+    pub fn get(&self, name: &str) -> Option<&Histogram> {
+        self.hists.iter().find(|(n, _)| *n == name).map(|(_, h)| h)
+    }
+
+    /// Iterates `(stage name, histogram)` in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &Histogram)> {
+        self.hists.iter().map(|(n, h)| (*n, h))
+    }
+
+    /// Renders `{"stage":{"count":..,"mean":..,"p50":..,"p99":..,
+    /// "p999":..,"max":..},..}` deterministically (canonical order,
+    /// fixed float precision).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, h)) in self.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"mean\":{:.1},\"p50\":{},\"p99\":{},\"p999\":{},\"max\":{}}}",
+                name,
+                h.count(),
+                h.mean(),
+                h.percentile(50.0),
+                h.percentile(99.0),
+                h.percentile(99.9),
+                h.max()
+            );
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Configuration for the per-run span layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanConfig {
+    /// Keep one [`CriticalPath`] row per measured request (needed for
+    /// percentile-window breakdowns; costs ~100 B/request).
+    pub keep_attributions: bool,
+    /// Retain full span trees for requests at or above this
+    /// end-to-end percentile (`None` disables exemplar retention).
+    pub exemplar_percentile: Option<f64>,
+    /// Upper bound on retained exemplar trees.
+    pub max_exemplars: usize,
+}
+
+impl Default for SpanConfig {
+    fn default() -> Self {
+        SpanConfig {
+            keep_attributions: true,
+            exemplar_percentile: None,
+            max_exemplars: 0,
+        }
+    }
+}
+
+impl SpanConfig {
+    /// Stage histograms only: no per-request rows, no exemplars. The
+    /// cheapest useful setting — what sweeps use.
+    pub fn stats_only() -> SpanConfig {
+        SpanConfig {
+            keep_attributions: false,
+            exemplar_percentile: None,
+            max_exemplars: 0,
+        }
+    }
+
+    /// Stats plus up to `max` full trees for requests at or above the
+    /// `p`-th end-to-end percentile.
+    pub fn with_exemplars(p: f64, max: usize) -> SpanConfig {
+        SpanConfig {
+            keep_attributions: false,
+            exemplar_percentile: Some(p),
+            max_exemplars: max,
+        }
+    }
+}
+
+/// Maximum recycled span buffers kept by a store.
+const POOL_CAP: usize = 256;
+
+/// Owns everything the span layer aggregates during a run.
+#[derive(Debug)]
+pub struct SpanStore {
+    cfg: SpanConfig,
+    stats: StageStats,
+    e2e: Histogram,
+    attributions: Vec<CriticalPath>,
+    exemplars: Vec<SpanTree>,
+    pool: Vec<Vec<Span>>,
+    next_request: u64,
+    measured: u64,
+}
+
+impl SpanStore {
+    /// Creates an empty store.
+    pub fn new(cfg: SpanConfig) -> SpanStore {
+        SpanStore {
+            cfg,
+            stats: StageStats::new(),
+            e2e: Histogram::new(),
+            attributions: Vec::new(),
+            exemplars: Vec::new(),
+            pool: Vec::new(),
+            next_request: 0,
+            measured: 0,
+        }
+    }
+
+    /// Starts a builder for the next request (sequence numbers are
+    /// assigned in arrival order, so same-seed runs agree).
+    pub fn builder(&mut self, class: u16, tx: SimTime) -> SpanBuilder {
+        let request = self.next_request;
+        self.next_request += 1;
+        let buf = self.pool.pop().unwrap_or_default();
+        SpanBuilder::new(request, class, tx, buf)
+    }
+
+    /// Reclaims an abandoned builder's buffer (dropped request).
+    pub fn discard(&mut self, b: SpanBuilder) {
+        self.recycle_buf(b.into_buf());
+    }
+
+    fn recycle_buf(&mut self, mut buf: Vec<Span>) {
+        if self.pool.len() < POOL_CAP {
+            buf.clear();
+            self.pool.push(buf);
+        }
+    }
+
+    fn recycle(&mut self, tree: SpanTree) {
+        self.recycle_buf(tree.spans);
+    }
+
+    /// Completes a request at reply-receipt instant `rx` and returns
+    /// its attribution. Aggregates (histograms, attribution rows,
+    /// exemplars) only when `in_window` — warm-up and drain-phase
+    /// completions still produce an attribution but leave no trace.
+    pub fn complete(&mut self, b: SpanBuilder, rx: SimTime, in_window: bool) -> CriticalPath {
+        let tree = b.finish(rx);
+        let cp = CriticalPath::of(&tree);
+        if !in_window {
+            self.recycle(tree);
+            return cp;
+        }
+        self.measured += 1;
+        self.stats.record(&cp);
+        self.e2e.record(cp.e2e_ns);
+        if self.cfg.keep_attributions {
+            self.attributions.push(cp);
+        }
+        match self.cfg.exemplar_percentile {
+            Some(p) if self.cfg.max_exemplars > 0 => {
+                // Online threshold over the measured e2e distribution:
+                // a tree qualifies while it sits at/above the p-th
+                // percentile seen so far.
+                if cp.e2e_ns >= self.e2e.percentile(p) {
+                    if self.exemplars.len() < self.cfg.max_exemplars {
+                        self.exemplars.push(tree);
+                    } else {
+                        let (mi, min_e2e) = self
+                            .exemplars
+                            .iter()
+                            .enumerate()
+                            .map(|(i, t)| (i, t.e2e_ns()))
+                            .min_by_key(|&(_, e)| e)
+                            .expect("max_exemplars > 0");
+                        if cp.e2e_ns > min_e2e {
+                            let old = std::mem::replace(&mut self.exemplars[mi], tree);
+                            self.recycle(old);
+                        } else {
+                            self.recycle(tree);
+                        }
+                    }
+                } else {
+                    self.recycle(tree);
+                }
+            }
+            _ => self.recycle(tree),
+        }
+        cp
+    }
+
+    /// Freezes the store into the report carried on `RunResult`.
+    /// Exemplars are sorted by request sequence so output is
+    /// insertion-order independent.
+    pub fn finish(mut self) -> SpanReport {
+        self.exemplars.sort_by_key(|t| t.request);
+        SpanReport {
+            stats: self.stats,
+            attributions: self.attributions,
+            exemplars: self.exemplars,
+            measured: self.measured,
+        }
+    }
+}
+
+/// Frozen span-layer output of one run.
+#[derive(Debug, Clone)]
+pub struct SpanReport {
+    /// Per-stage histograms over measured requests.
+    pub stats: StageStats,
+    /// One attribution row per measured request (empty unless
+    /// [`SpanConfig::keep_attributions`]).
+    pub attributions: Vec<CriticalPath>,
+    /// Retained tail exemplar trees, by request sequence.
+    pub exemplars: Vec<SpanTree>,
+    /// Measured-window completions seen by the store.
+    pub measured: u64,
+}
+
+/// Renders span trees in the raw schema (`docs/MODEL.md` §7):
+/// `[{"request":..,"class":..,"spans":[{"name":..,"parent":..,
+/// "start":..,"end":..,"a":..,"b":..},..]},..]`. `parent` is `-1`
+/// for the root. Deterministic for a deterministic tree list.
+pub fn spans_to_json(trees: &[SpanTree]) -> String {
+    let mut out = String::from("[");
+    for (i, t) in trees.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"request\":{},\"class\":{},\"spans\":[",
+            t.request, t.class
+        );
+        for (j, s) in t.spans.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let parent = if s.parent == NO_PARENT {
+                -1
+            } else {
+                s.parent as i64
+            };
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"parent\":{},\"start\":{},\"end\":{},\"a\":{},\"b\":{}}}",
+                s.name,
+                parent,
+                s.start.as_nanos(),
+                s.end.as_nanos(),
+                s.a,
+                s.b
+            );
+        }
+        out.push_str("]}");
+    }
+    out.push(']');
+    out
+}
+
+/// Timestamp in Chrome-trace microseconds, fixed precision.
+fn us(t: SimTime) -> String {
+    format!("{:.3}", t.as_nanos() as f64 / 1_000.0)
+}
+
+/// Renders span trees as Chrome trace event JSON, loadable at
+/// <https://ui.perfetto.dev>.
+///
+/// Layout: each request is a Perfetto *process* (`pid` = request
+/// sequence) with four tracks — `tid` 0 the root `request` span,
+/// `tid` 1 worker segments, `tid` 2 the phase tiling, `tid` 3 faults
+/// — all as `"X"` complete events (each track is overlap-free by
+/// construction). Fetches and their `nic_queue`/`wire` sub-spans are
+/// async `"b"`/`"e"` pairs (category `"fetch"`, process-wide unique
+/// ids) because concurrent prefetches overlap in time.
+pub fn perfetto_json(trees: &[SpanTree]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    let mut async_id: u64 = 0;
+    let push = |out: &mut String, first: &mut bool, ev: String| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(&ev);
+    };
+    for t in trees {
+        let pid = t.request;
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"request {} (class {})\"}}}}",
+                t.request, t.class
+            ),
+        );
+        for (tid, name) in [
+            (0, "request"),
+            (1, "segments"),
+            (2, "phases"),
+            (3, "faults"),
+        ] {
+            push(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+                     \"name\":\"thread_name\",\"args\":{{\"name\":\"{name}\"}}}}"
+                ),
+            );
+        }
+        for s in &t.spans {
+            let tid = match s.name {
+                node::REQUEST => 0,
+                node::SEGMENT => 1,
+                node::FAULT => 3,
+                node::FETCH | node::NIC_QUEUE | node::WIRE => {
+                    let id = async_id;
+                    async_id += 1;
+                    push(
+                        &mut out,
+                        &mut first,
+                        format!(
+                            "{{\"ph\":\"b\",\"cat\":\"fetch\",\"id\":{id},\"pid\":{pid},\
+                             \"tid\":0,\"ts\":{},\"name\":\"{}\",\
+                             \"args\":{{\"a\":{},\"b\":{}}}}}",
+                            us(s.start),
+                            s.name,
+                            s.a,
+                            s.b
+                        ),
+                    );
+                    push(
+                        &mut out,
+                        &mut first,
+                        format!(
+                            "{{\"ph\":\"e\",\"cat\":\"fetch\",\"id\":{id},\"pid\":{pid},\
+                             \"tid\":0,\"ts\":{},\"name\":\"{}\"}}",
+                            us(s.end),
+                            s.name
+                        ),
+                    );
+                    continue;
+                }
+                _ => 2,
+            };
+            push(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},\"dur\":{:.3},\
+                     \"name\":\"{}\",\"args\":{{\"a\":{},\"b\":{}}}}}",
+                    us(s.start),
+                    s.dur_ns() as f64 / 1_000.0,
+                    s.name,
+                    s.a,
+                    s.b
+                ),
+            );
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime(ns)
+    }
+
+    /// A representative tree: net→dispatch→queue→segment(handle,
+    /// fault(handle, spin), handle)→reply→tx_wait→net.
+    fn sample_tree(request: u64) -> SpanTree {
+        let mut b = SpanBuilder::new(request, 1, t(0), Vec::new());
+        b.phase(stage::NET, t(100));
+        b.phase(stage::DISPATCH, t(150));
+        b.phase(stage::QUEUE, t(200));
+        b.begin_segment(t(200), 3);
+        b.phase(stage::HANDLE, t(500));
+        b.begin_fault(t(500), 42);
+        b.phase(stage::HANDLE, t(600));
+        b.fetch(t(600), t(620), t(900), 42, 7);
+        b.phase(stage::SPIN, t(900));
+        b.end_fault(t(900));
+        b.phase(stage::HANDLE, t(1_100));
+        b.phase(stage::REPLY, t(1_200));
+        b.end_segment(t(1_200));
+        b.phase(stage::TX_WAIT, t(1_250));
+        b.phase(stage::NET, t(1_400));
+        b.finish(t(1_400))
+    }
+
+    #[test]
+    fn phase_tiling_sums_to_e2e_exactly() {
+        let tree = sample_tree(0);
+        let cp = CriticalPath::of(&tree);
+        assert_eq!(tree.e2e_ns(), 1_400);
+        assert_eq!(cp.components_sum(), cp.e2e_ns);
+        assert_eq!(cp.net_ns, 100 + 150);
+        assert_eq!(cp.handle_ns, 300 + 100 + 200);
+        assert_eq!(cp.spin_ns, 300);
+    }
+
+    #[test]
+    fn phase_clamps_backward_time_and_skips_empty() {
+        let mut b = SpanBuilder::new(0, 0, t(1_000), Vec::new());
+        b.phase(stage::NET, t(1_100));
+        // An earlier instant (worker clock behind the cursor) emits
+        // nothing and does not move the cursor back.
+        b.phase(stage::QUEUE, t(1_050));
+        assert_eq!(b.cursor(), t(1_100));
+        b.phase(stage::QUEUE, t(1_100));
+        let tree = b.finish(t(1_100));
+        assert_eq!(tree.spans.len(), 2); // root + net
+        assert_eq!(CriticalPath::of(&tree).components_sum(), tree.e2e_ns());
+    }
+
+    #[test]
+    fn fetch_overlap_accounting_splits_hidden_from_stalled() {
+        let mut b = SpanBuilder::new(0, 0, t(0), Vec::new());
+        b.begin_segment(t(0), 0);
+        b.begin_fault(t(0), 9);
+        // Fetch [0, 400]; the request only stalls on it for [300, 400]
+        // (100 ns); the first 300 ns are hidden under handler compute.
+        b.fetch(t(0), t(40), t(400), 9, 0);
+        b.phase(stage::HANDLE, t(300));
+        b.phase(stage::SPIN, t(400));
+        b.end_fault(t(400));
+        b.end_segment(t(400));
+        let tree = b.finish(t(400));
+        let cp = CriticalPath::of(&tree);
+        assert_eq!(cp.fetch_wall_ns, 400);
+        assert_eq!(cp.spin_ns, 100);
+        assert_eq!(cp.fetch_hidden_ns, 300);
+        assert_eq!(cp.components_sum(), cp.e2e_ns);
+    }
+
+    #[test]
+    fn fetch_fully_stalled_hides_nothing() {
+        let mut b = SpanBuilder::new(0, 0, t(0), Vec::new());
+        b.begin_fault(t(0), 1);
+        b.fetch(t(0), t(10), t(200), 1, 0);
+        b.phase(stage::FETCH_WAIT, t(200));
+        b.end_fault(t(200));
+        let tree = b.finish(t(200));
+        let cp = CriticalPath::of(&tree);
+        assert_eq!(cp.fetch_hidden_ns, 0);
+        assert_eq!(cp.fetch_wait_ns, 200);
+    }
+
+    #[test]
+    fn structural_tree_shape() {
+        let tree = sample_tree(5);
+        assert_eq!(tree.spans[0].name, node::REQUEST);
+        assert_eq!(tree.spans[0].parent, NO_PARENT);
+        let seg = tree
+            .spans
+            .iter()
+            .position(|s| s.name == node::SEGMENT)
+            .unwrap();
+        assert_eq!(tree.spans[seg].parent, 0);
+        assert_eq!(tree.spans[seg].a, 3);
+        let fault = tree
+            .spans
+            .iter()
+            .position(|s| s.name == node::FAULT)
+            .unwrap();
+        assert_eq!(tree.spans[fault].parent as usize, seg);
+        let fetch = tree
+            .spans
+            .iter()
+            .position(|s| s.name == node::FETCH)
+            .unwrap();
+        assert_eq!(tree.spans[fetch].parent as usize, fault);
+        // nic_queue + wire tile the fetch span.
+        let nq = &tree.spans[fetch + 1];
+        let wire = &tree.spans[fetch + 2];
+        assert_eq!(nq.name, node::NIC_QUEUE);
+        assert_eq!(wire.name, node::WIRE);
+        assert_eq!(nq.parent as usize, fetch);
+        assert_eq!(nq.dur_ns() + wire.dur_ns(), tree.spans[fetch].dur_ns());
+        // The spin after the fetch is a child of the fault.
+        let spin = tree.spans.iter().find(|s| s.name == stage::SPIN).unwrap();
+        assert_eq!(spin.parent as usize, fault);
+    }
+
+    #[test]
+    fn stage_stats_percentiles_monotone() {
+        let mut stats = StageStats::new();
+        for i in 0..500u64 {
+            let mut b = SpanBuilder::new(i, 0, t(0), Vec::new());
+            b.phase(stage::QUEUE, t(10 + i % 97));
+            b.phase(stage::HANDLE, t(200 + 13 * (i % 31)));
+            let tree = b.finish(t(200 + 13 * (i % 31)));
+            stats.record(&CriticalPath::of(&tree));
+        }
+        for (name, h) in stats.iter() {
+            let (p50, p99, p999) = (h.percentile(50.0), h.percentile(99.0), h.percentile(99.9));
+            assert!(p50 <= p99 && p99 <= p999, "{name}: {p50} {p99} {p999}");
+        }
+        assert_eq!(stats.get("e2e").unwrap().count(), 500);
+    }
+
+    #[test]
+    fn store_counts_only_measured_window() {
+        let mut store = SpanStore::new(SpanConfig::default());
+        let mut b = store.builder(0, t(0));
+        b.phase(stage::HANDLE, t(100));
+        store.complete(b, t(100), false); // warm-up
+        let mut b = store.builder(0, t(200));
+        b.phase(stage::HANDLE, t(450));
+        let cp = store.complete(b, t(450), true);
+        assert_eq!(cp.e2e_ns, 250);
+        let report = store.finish();
+        assert_eq!(report.measured, 1);
+        assert_eq!(report.attributions.len(), 1);
+        assert_eq!(report.stats.get("e2e").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn exemplar_sampler_is_bounded_and_keeps_the_tail() {
+        let mut store = SpanStore::new(SpanConfig::with_exemplars(0.0, 4));
+        for i in 1..=100u64 {
+            let mut b = store.builder(0, t(0));
+            b.phase(stage::HANDLE, t(i * 10));
+            store.complete(b, t(i * 10), true);
+        }
+        let report = store.finish();
+        assert_eq!(report.exemplars.len(), 4);
+        // The four slowest requests (970..=1000 ns) survive.
+        let mut kept: Vec<u64> = report.exemplars.iter().map(|t| t.e2e_ns()).collect();
+        kept.sort_unstable();
+        assert_eq!(kept, vec![970, 980, 990, 1_000]);
+        // Sorted by arrival sequence for deterministic export.
+        let seqs: Vec<u64> = report.exemplars.iter().map(|t| t.request).collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_eq!(seqs, sorted);
+    }
+
+    #[test]
+    fn exemplar_threshold_filters_the_fast_majority() {
+        let mut store = SpanStore::new(SpanConfig::with_exemplars(99.0, 16));
+        // 1000 fast requests and 5 slow ones; only the tail (and the
+        // cold-start admissions before the histogram stabilizes)
+        // should be retained.
+        for i in 0..1_000u64 {
+            let mut b = store.builder(0, t(0));
+            b.phase(stage::HANDLE, t(100 + i % 7));
+            store.complete(b, t(100 + i % 7), true);
+        }
+        for _ in 0..5 {
+            let mut b = store.builder(0, t(0));
+            b.phase(stage::HANDLE, t(10_000));
+            store.complete(b, t(10_000), true);
+        }
+        let report = store.finish();
+        assert!(report.exemplars.len() <= 16);
+        let slow = report
+            .exemplars
+            .iter()
+            .filter(|t| t.e2e_ns() == 10_000)
+            .count();
+        assert_eq!(slow, 5, "all tail trees retained");
+    }
+
+    #[test]
+    fn store_recycles_buffers() {
+        let mut store = SpanStore::new(SpanConfig::stats_only());
+        for _ in 0..10 {
+            let mut b = store.builder(0, t(0));
+            b.phase(stage::HANDLE, t(50));
+            store.complete(b, t(50), true);
+        }
+        assert!(!store.pool.is_empty() && store.pool.len() <= 10);
+        let b = store.builder(0, t(0));
+        store.discard(b);
+        assert!(!store.pool.is_empty());
+    }
+
+    #[test]
+    fn spans_json_is_deterministic_and_shaped() {
+        let trees = [sample_tree(0), sample_tree(1)];
+        let a = spans_to_json(&trees);
+        let b = spans_to_json(&trees);
+        assert_eq!(a, b);
+        assert!(a.starts_with('[') && a.ends_with(']'));
+        assert!(a.contains("\"name\":\"request\""));
+        assert!(a.contains("\"parent\":-1"));
+        assert!(a.contains("\"request\":1"));
+    }
+
+    #[test]
+    fn perfetto_json_is_deterministic_and_pairs_async_events() {
+        let trees = [sample_tree(0)];
+        let a = perfetto_json(&trees);
+        assert_eq!(a, perfetto_json(&trees));
+        assert!(a.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        assert!(a.ends_with("]}"));
+        let begins = a.matches("\"ph\":\"b\"").count();
+        let ends = a.matches("\"ph\":\"e\"").count();
+        assert_eq!(begins, ends);
+        assert_eq!(begins, 3); // fetch + nic_queue + wire
+                               // Phase spans land on the phases track with µs timestamps.
+        assert!(a.contains("\"ph\":\"X\""));
+        assert!(a.contains("\"name\":\"queue\""));
+        assert!(a.contains("\"ts\":0.000"));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "phase tiling must reach the reply instant")]
+    fn finish_requires_complete_tiling() {
+        let mut b = SpanBuilder::new(0, 0, t(0), Vec::new());
+        b.phase(stage::NET, t(50));
+        let _ = b.finish(t(100));
+    }
+}

@@ -54,6 +54,11 @@ pub struct Completion {
     pub qp: QpId,
     /// CQ the completion will be raised on (the QP's associated CQ).
     pub cq: CqId,
+    /// Simulated instant the shared WQE engine dispatched the work
+    /// request (doorbell + engine queueing paid; wire not yet). The
+    /// span layer splits each fetch into `nic_queue` (post→issue) and
+    /// `wire` (issue→completion) at this instant.
+    pub issued_at: SimTime,
     /// Simulated instant the CQE becomes pollable.
     pub done_at: SimTime,
 }
@@ -185,7 +190,12 @@ impl RdmaNic {
                 ack_here + self.params.local_dma
             }
         };
-        Ok(Completion { qp, cq, done_at })
+        Ok(Completion {
+            qp,
+            cq,
+            issued_at: dispatched,
+            done_at,
+        })
     }
 
     /// Consumes a completion at `now`: decrements the QP's outstanding
@@ -396,6 +406,22 @@ mod tests {
                 "steady-state gap {g} should be ~ one engine slot"
             );
         }
+    }
+
+    #[test]
+    fn issued_at_splits_queue_from_wire() {
+        let (mut nic, mut mem) = setup();
+        let a = nic
+            .post(SimTime(0), QpId(0), Verb::Read, 0, 4096, &mut mem)
+            .unwrap();
+        // Doorbell + engine paid before dispatch; wire after.
+        assert!(a.issued_at > SimTime(0));
+        assert!(a.issued_at < a.done_at);
+        // A second post queues behind the first in the shared engine.
+        let b = nic
+            .post(SimTime(0), QpId(1), Verb::Read, 1, 4096, &mut mem)
+            .unwrap();
+        assert!(b.issued_at > a.issued_at);
     }
 
     #[test]

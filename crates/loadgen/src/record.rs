@@ -1,37 +1,68 @@
 //! Latency recording with component breakdowns.
 
-use desim::{Histogram, SimDuration, SimTime};
+use desim::{CriticalPath, Histogram, SimDuration, SimTime};
 
-/// Where a request's on-node time went (Figures 2c and 7c).
+/// Where a request's time went (Figures 2c and 7c).
 ///
-/// All fields are nanoseconds. "Queueing" covers every wait that is not
-/// attributable to the RDMA fetch itself: the dispatcher's pending
-/// queue, waiting to be resumed after a fetch completed, and waiting
-/// behind other unithreads on the worker. Busy-wait time is called out
-/// separately because it is the paper's villain: worker cycles burned
-/// spinning on an outstanding fetch (the slashed region of Figure 2c).
+/// All fields are nanoseconds. Breakdowns are derived from the span
+/// layer's [`CriticalPath`] attribution (see
+/// [`Breakdown::from_critical_path`]): the five wall-clock components
+/// plus `net_ns` partition the end-to-end latency *exactly*, so
+/// [`Breakdown::total_ns`] equals the request's measured e2e latency.
+/// Busy-wait time is called out separately because it is the paper's
+/// villain: worker cycles burned spinning on an outstanding fetch (the
+/// slashed region of Figure 2c); as wasted *cycles* it overlays the
+/// wall-clock components rather than adding to them.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Breakdown {
-    /// Dispatcher + worker queueing delay.
+    /// Dispatcher + worker queueing delay, QP-stall and reply-doorbell
+    /// waits included.
     pub queueing_ns: u64,
-    /// Worker cycles burned busy-waiting on fetches (subset of the
-    /// request's wall time, disjoint from `queueing_ns`).
+    /// Worker cycles burned busy-waiting (fetch spins, QP-full stalls,
+    /// reply-CQE spins) — an overlay on the wall-clock components,
+    /// excluded from [`Breakdown::total_ns`].
     pub busywait_ns: u64,
-    /// Request handling compute (application + fault handler + map).
+    /// Request handling compute (application + fault handler + map +
+    /// reply construction).
     pub handling_ns: u64,
-    /// RDMA fetch wall time (post to completion), summed over faults.
+    /// Stalled RDMA fetch exposure: time the request was parked on or
+    /// spinning for a fetch (fetch wall time hidden under useful work
+    /// is *not* charged here).
     pub rdma_ns: u64,
     /// Context-switch time (unithread switches, preemption switches).
     pub ctxswitch_ns: u64,
+    /// Client↔server network time (request delivery + reply flight).
+    pub net_ns: u64,
 }
 
 impl Breakdown {
-    /// Sum of the disjoint components. `busywait_ns` is excluded: for
-    /// busy-wait systems it coincides with `rdma_ns` (the spin *is* the
-    /// fetch wait) and is reported separately as the wasted-cycles
-    /// metric.
+    /// Sum of the disjoint wall-clock components; equals the request's
+    /// end-to-end latency exactly for span-derived breakdowns.
+    /// `busywait_ns` is excluded: it is a wasted-cycles overlay on the
+    /// queueing/rdma wall time, reported separately.
     pub fn total_ns(&self) -> u64 {
-        self.queueing_ns + self.handling_ns + self.rdma_ns + self.ctxswitch_ns
+        self.queueing_ns + self.handling_ns + self.rdma_ns + self.ctxswitch_ns + self.net_ns
+    }
+
+    /// Folds a span-layer attribution into the figure-2c/7c component
+    /// scheme. The mapping keeps [`Breakdown::total_ns`] equal to
+    /// `cp.e2e_ns` (the ten phases partition e2e exactly):
+    ///
+    /// - queueing ← dispatch + queue + qp_stall + tx_wait
+    /// - handling ← handle + reply
+    /// - rdma ← fetch_wait + spin (stalled fetch exposure)
+    /// - ctxswitch ← ctx, net ← net
+    /// - busywait ← spin + qp_stall + tx_wait (cycles burned polling;
+    ///   overlay, not a component)
+    pub fn from_critical_path(cp: &CriticalPath) -> Breakdown {
+        Breakdown {
+            queueing_ns: cp.dispatch_ns + cp.queue_ns + cp.qp_stall_ns + cp.tx_wait_ns,
+            busywait_ns: cp.spin_ns + cp.qp_stall_ns + cp.tx_wait_ns,
+            handling_ns: cp.handle_ns + cp.reply_ns,
+            rdma_ns: cp.fetch_wait_ns + cp.spin_ns,
+            ctxswitch_ns: cp.ctx_ns,
+            net_ns: cp.net_ns,
+        }
     }
 }
 
@@ -44,6 +75,10 @@ pub struct BreakdownAt {
     pub percentile: f64,
     /// Mean components of requests in the window around the percentile.
     pub mean: BreakdownF,
+    /// Mean end-to-end latency of the same window; equals
+    /// [`BreakdownF::total_ns`] up to float rounding (the components
+    /// partition each request's e2e exactly).
+    pub mean_e2e_ns: f64,
 }
 
 /// Fractional breakdown (means).
@@ -59,6 +94,16 @@ pub struct BreakdownF {
     pub rdma_ns: f64,
     /// See [`Breakdown::ctxswitch_ns`].
     pub ctxswitch_ns: f64,
+    /// See [`Breakdown::net_ns`].
+    pub net_ns: f64,
+}
+
+impl BreakdownF {
+    /// Sum of the disjoint wall-clock components (busy-wait excluded),
+    /// mirroring [`Breakdown::total_ns`].
+    pub fn total_ns(&self) -> f64 {
+        self.queueing_ns + self.handling_ns + self.rdma_ns + self.ctxswitch_ns + self.net_ns
+    }
 }
 
 /// Collects end-to-end latencies (per request class), breakdowns and
@@ -192,6 +237,7 @@ impl Recorder {
             return BreakdownAt {
                 percentile: p,
                 mean: BreakdownF::default(),
+                mean_e2e_ns: 0.0,
             };
         }
         let rank = (((p / 100.0) * n as f64).ceil() as usize).clamp(1, n) - 1;
@@ -202,16 +248,20 @@ impl Recorder {
         let window = &self.breakdowns[lo..hi];
         let m = window.len() as f64;
         let mut mean = BreakdownF::default();
-        for (_, b) in window {
+        let mut mean_e2e_ns = 0.0;
+        for (e2e, b) in window {
             mean.queueing_ns += b.queueing_ns as f64 / m;
             mean.busywait_ns += b.busywait_ns as f64 / m;
             mean.handling_ns += b.handling_ns as f64 / m;
             mean.rdma_ns += b.rdma_ns as f64 / m;
             mean.ctxswitch_ns += b.ctxswitch_ns as f64 / m;
+            mean.net_ns += b.net_ns as f64 / m;
+            mean_e2e_ns += *e2e as f64 / m;
         }
         BreakdownAt {
             percentile: p,
             mean,
+            mean_e2e_ns,
         }
     }
 }
@@ -307,8 +357,61 @@ mod tests {
             handling_ns: 3,
             rdma_ns: 4,
             ctxswitch_ns: 5,
+            net_ns: 6,
         };
-        assert_eq!(b.total_ns(), 13, "busywait excluded (overlaps rdma)");
+        assert_eq!(b.total_ns(), 19, "busywait excluded (wasted-cycle overlay)");
+    }
+
+    #[test]
+    fn breakdown_from_critical_path_partitions_e2e() {
+        let cp = CriticalPath {
+            e2e_ns: 1_000,
+            net_ns: 100,
+            dispatch_ns: 50,
+            queue_ns: 150,
+            handle_ns: 200,
+            spin_ns: 80,
+            fetch_wait_ns: 220,
+            qp_stall_ns: 60,
+            tx_wait_ns: 40,
+            ctx_ns: 70,
+            reply_ns: 30,
+            fetch_wall_ns: 500,
+            fetch_hidden_ns: 200,
+        };
+        assert_eq!(cp.components_sum(), cp.e2e_ns);
+        let b = Breakdown::from_critical_path(&cp);
+        assert_eq!(b.total_ns(), cp.e2e_ns, "components partition e2e");
+        assert_eq!(b.queueing_ns, 50 + 150 + 60 + 40);
+        assert_eq!(b.rdma_ns, 220 + 80);
+        assert_eq!(b.busywait_ns, 80 + 60 + 40);
+        assert_eq!(b.handling_ns, 230);
+        assert_eq!(b.net_ns, 100);
+    }
+
+    #[test]
+    fn breakdown_at_reports_window_mean_e2e() {
+        let mut r = Recorder::new(t(0), t(1_000_000), 1);
+        r.keep_breakdowns(true);
+        for i in 0..200u64 {
+            let q = 100 + i * 10;
+            let b = Breakdown {
+                queueing_ns: q,
+                handling_ns: 700,
+                net_ns: 200,
+                ..Default::default()
+            };
+            r.complete(0, t(i * 1_000), t(i * 1_000 + b.total_ns()), b);
+        }
+        for p in [10.0, 50.0, 99.0, 99.9] {
+            let row = r.breakdown_at(p);
+            assert!(
+                (row.mean.total_ns() - row.mean_e2e_ns).abs() < 0.5,
+                "p{p}: components {} vs e2e {}",
+                row.mean.total_ns(),
+                row.mean_e2e_ns
+            );
+        }
     }
 
     #[test]

@@ -24,6 +24,7 @@ fn main() {
                 burst: None,
                 timeline_bucket: None,
                 trace_capacity: None,
+                spans: None,
             };
             let mut w = ArrayIndexWorkload::new(pages);
             let res = run_one(SystemConfig::for_kind(kind), &mut w, params);

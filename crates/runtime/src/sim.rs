@@ -17,6 +17,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use desim::span::{stage, SpanBuilder, SpanConfig, SpanReport, SpanStore};
 use desim::trace::{CounterId, GaugeId};
 use desim::{
     EventQueue, Metrics, MetricsSnapshot, NoopTracer, RingTracer, Rng, SimDuration, SimTime,
@@ -62,6 +63,11 @@ pub struct RunParams {
     /// `capacity` events are kept; [`RunResult::trace`] returns them
     /// sorted by simulated time.
     pub trace_capacity: Option<usize>,
+    /// Per-request span tracing and critical-path attribution (None =
+    /// off, the zero-cost default). Implicitly enabled in stats-only
+    /// mode when [`RunParams::keep_breakdowns`] is set, since
+    /// breakdowns are derived from the span trees.
+    pub spans: Option<SpanConfig>,
 }
 
 impl Default for RunParams {
@@ -76,6 +82,7 @@ impl Default for RunParams {
             burst: None,
             timeline_bucket: None,
             trace_capacity: None,
+            spans: None,
         }
     }
 }
@@ -204,6 +211,10 @@ pub struct RunResult {
     pub workers: usize,
     /// Optional dynamics timeline (see [`RunParams::timeline_bucket`]).
     pub timeline: Option<Timeline>,
+    /// Span-layer report: per-stage histograms, critical-path
+    /// attributions and tail exemplars (present when spans were on —
+    /// see [`RunParams::spans`]).
+    pub spans: Option<SpanReport>,
 }
 
 impl RunResult {
@@ -293,20 +304,17 @@ struct Req {
     step: usize,
     /// Load-generator hardware TX timestamp.
     tx_time: SimTime,
-    /// When the request was last put on a queue (for queueing
-    /// attribution).
-    queued_at: SimTime,
     /// When the request last started running on a worker (preemption
     /// epoch).
     sched_epoch: SimTime,
     /// Worker currently responsible (valid once started).
     worker: usize,
-    /// When the current fault parked the unithread (yield policy).
-    parked_at: SimTime,
     /// When the current fault's fetch completed.
     fetch_done_at: SimTime,
     started: bool,
-    b: Breakdown,
+    /// Span tree under construction (present when the span layer is
+    /// on). All latency attribution derives from it.
+    spans: Option<SpanBuilder>,
     detector: Detector,
 }
 
@@ -381,6 +389,7 @@ pub struct Simulation<'w> {
     metrics: Metrics,
     ids: MetricIds,
     tracer: Box<dyn Tracer>,
+    span_store: Option<SpanStore>,
     start_snap: Option<(fabric::link::LinkSnapshot, fabric::link::LinkSnapshot)>,
     end_snap: Option<(fabric::link::LinkSnapshot, fabric::link::LinkSnapshot)>,
     cache_start: Option<paging::cache::CacheStats>,
@@ -485,6 +494,17 @@ impl<'w> Simulation<'w> {
                 Some(cap) => Box::new(RingTracer::new(cap)),
                 None => Box::new(NoopTracer),
             },
+            // Breakdowns are derived from span trees, so keeping them
+            // implies the span layer (stats-only: the recorder holds
+            // the per-request rows itself).
+            span_store: params
+                .spans
+                .or(if params.keep_breakdowns {
+                    Some(SpanConfig::stats_only())
+                } else {
+                    None
+                })
+                .map(SpanStore::new),
             start_snap: None,
             end_snap: None,
             cache_start: None,
@@ -581,6 +601,7 @@ impl<'w> Simulation<'w> {
             window,
             workers: self.cfg.workers,
             timeline: self.timeline,
+            spans: self.span_store.map(SpanStore::finish),
         }
     }
 
@@ -626,17 +647,16 @@ impl<'w> Simulation<'w> {
     }
 
     fn alloc_req(&mut self, trace: Trace, tx: SimTime) -> usize {
+        let spans = self.span_store.as_mut().map(|s| s.builder(trace.class, tx));
         let req = Req {
             trace,
             step: 0,
             tx_time: tx,
-            queued_at: tx,
             sched_epoch: tx,
             worker: usize::MAX,
-            parked_at: SimTime::ZERO,
             fetch_done_at: SimTime::ZERO,
             started: false,
-            b: Breakdown::default(),
+            spans,
             detector: Detector::new(self.cfg.prefetcher),
         };
         if let Some(slot) = self.free_reqs.pop() {
@@ -655,6 +675,26 @@ impl<'w> Simulation<'w> {
 
     fn req(&mut self, id: usize) -> &mut Req {
         self.reqs[id].as_mut().expect("dangling request id")
+    }
+
+    /// The request's span builder, if the span layer is on (one branch
+    /// when off — mirrors [`Simulation::trace`]).
+    #[inline]
+    fn sb(&mut self, id: usize) -> Option<&mut SpanBuilder> {
+        self.reqs[id]
+            .as_mut()
+            .expect("dangling request id")
+            .spans
+            .as_mut()
+    }
+
+    /// Returns a dropped request's span buffer to the store's pool.
+    fn discard_spans(&mut self, id: usize) {
+        if let Some(b) = self.req(id).spans.take() {
+            if let Some(store) = &mut self.span_store {
+                store.discard(b);
+            }
+        }
     }
 
     fn handle(&mut self, now: SimTime, ev: Ev) {
@@ -684,6 +724,10 @@ impl<'w> Simulation<'w> {
             tl.inflight.record(now, self.nic.total_outstanding() as f64);
         }
         self.trace(now, "dispatch", "arrival", req as u64, depth as u64);
+        // Request flight + RX path: tx_time → delivery.
+        if let Some(sb) = self.sb(req) {
+            sb.phase(stage::NET, now);
+        }
         match self.cfg.queue_model {
             QueueModel::SingleQueue => {
                 if self.admission_backlog >= self.cfg.fabric.rx_ring_entries
@@ -691,6 +735,7 @@ impl<'w> Simulation<'w> {
                 {
                     let tx = self.req(req).tx_time;
                     self.recorder.drop_request(tx);
+                    self.discard_spans(req);
                     self.free_req(req);
                     self.metrics.inc(self.ids.drops);
                     self.trace(now, "dispatch", "drop", req as u64, 0);
@@ -708,12 +753,12 @@ impl<'w> Simulation<'w> {
                 if self.workers[w].local_queue.len() >= cap {
                     let tx = self.req(req).tx_time;
                     self.recorder.drop_request(tx);
+                    self.discard_spans(req);
                     self.free_req(req);
                     self.metrics.inc(self.ids.drops);
                     self.trace(now, "dispatch", "drop", req as u64, w as u64);
                     return;
                 }
-                self.req(req).queued_at = now;
                 self.workers[w].local_queue.push_back(req);
                 self.try_run_local(now, w);
             }
@@ -722,7 +767,10 @@ impl<'w> Simulation<'w> {
 
     fn on_admit(&mut self, now: SimTime, req: usize) {
         self.admission_backlog -= 1;
-        self.req(req).queued_at = now;
+        // Dispatcher admission work: delivery → admit.
+        if let Some(sb) = self.sb(req) {
+            sb.phase(stage::DISPATCH, now);
+        }
         self.pending.push_back(req);
         self.try_dispatch(now);
     }
@@ -826,20 +874,30 @@ impl<'w> Simulation<'w> {
                     let ctx = self.cfg.ctx_switch;
                     let cq = self.cfg.cq_poll;
                     let r = self.req(req);
-                    r.b.queueing_ns += now.saturating_since(r.queued_at).as_nanos();
                     r.sched_epoch = now;
                     r.worker = w;
-                    if !r.started {
-                        r.started = true;
+                    let first = !r.started;
+                    r.started = true;
+                    if let Some(sb) = r.spans.as_mut() {
+                        // Time spent queued (admit → start, or preempt
+                        // → restart), then a new execution segment.
+                        sb.phase(stage::QUEUE, now);
+                        sb.begin_segment(now, w);
+                    }
+                    if first {
                         let setup = cfg_setup + setup_extra;
-                        r.b.handling_ns += setup.as_nanos();
                         t += setup;
                         if is_yield {
                             // Unithread creation + switch in, plus the
                             // worker's CQ poll before starting new
                             // unithreads (Figure 5).
-                            r.b.ctxswitch_ns += ctx.as_nanos() + cq.as_nanos();
                             t += ctx + cq;
+                        }
+                        if let Some(sb) = r.spans.as_mut() {
+                            sb.phase(stage::HANDLE, now + setup);
+                            if is_yield {
+                                sb.phase(stage::CTX, now + setup + ctx + cq);
+                            }
                         }
                     }
                 }
@@ -851,12 +909,17 @@ impl<'w> Simulation<'w> {
                 let mut t = now;
                 {
                     let r = self.req(req);
-                    // Fetch wall time is RDMA; waiting past completion is
-                    // queueing.
-                    r.b.rdma_ns += r.fetch_done_at.saturating_since(r.parked_at).as_nanos();
-                    r.b.queueing_ns += now.saturating_since(r.fetch_done_at).as_nanos();
-                    r.b.handling_ns += map.as_nanos();
-                    r.b.ctxswitch_ns += ctx.as_nanos();
+                    let fetch_done = r.fetch_done_at;
+                    if let Some(sb) = r.spans.as_mut() {
+                        // Fetch wall time is the fault's wait; runnable
+                        // time past completion is queueing.
+                        sb.phase(stage::FETCH_WAIT, fetch_done);
+                        sb.phase(stage::QUEUE, now);
+                        sb.end_fault(now);
+                        sb.begin_segment(now, w);
+                        sb.phase(stage::HANDLE, now + map);
+                        sb.phase(stage::CTX, now + map + ctx);
+                    }
                 }
                 t += map + ctx;
                 self.execute(w, req, t);
@@ -868,13 +931,22 @@ impl<'w> Simulation<'w> {
                     map += k.kernel_exit;
                 }
                 let mut t = now;
-                self.req(req).b.handling_ns += map.as_nanos();
+                if let Some(sb) = self.sb(req) {
+                    // Spin residue (wake can trail the CQE), then the
+                    // fault closes with the page map.
+                    sb.phase(stage::SPIN, now);
+                    sb.end_fault(now + map);
+                    sb.phase(stage::HANDLE, now + map);
+                }
                 t += map;
                 self.execute(w, req, t);
             }
             Cont::RetryFault { req } => {
-                let r = self.req(req);
-                r.b.queueing_ns += now.saturating_since(r.parked_at).as_nanos();
+                // Waiting for a frame ended at `now`; the open fault
+                // span is kept — the retry continues the same fault.
+                if let Some(sb) = self.sb(req) {
+                    sb.phase(stage::QUEUE, now);
+                }
                 // Re-enter the fault for the current step's page.
                 self.execute(w, req, now);
             }
@@ -907,10 +979,10 @@ impl<'w> Simulation<'w> {
                 self.metrics.inc(self.ids.preemptions);
                 self.trace(t, "worker", "preempt", w as u64, req as u64);
                 let cost = self.cfg.preempt_cost;
-                {
-                    let r = self.req(req);
-                    r.b.ctxswitch_ns += cost.as_nanos();
-                    r.queued_at = t + cost;
+                if let Some(sb) = self.sb(req) {
+                    sb.phase(stage::HANDLE, t);
+                    sb.phase(stage::CTX, t + cost);
+                    sb.end_segment(t + cost);
                 }
                 t += cost;
                 self.pending.push_back(req);
@@ -926,11 +998,16 @@ impl<'w> Simulation<'w> {
                     let stall = SimDuration::from_nanos(
                         self.rng.exp(k.interference_stall.as_nanos() as f64) as u64,
                     );
-                    self.req(req).b.queueing_ns += stall.as_nanos();
+                    // The stall is involuntary descheduling, not useful
+                    // work: flush the compute so far, attribute the
+                    // stall to queueing.
+                    if let Some(sb) = self.sb(req) {
+                        sb.phase(stage::HANDLE, t + compute);
+                        sb.phase(stage::QUEUE, t + compute + stall);
+                    }
                     compute += stall;
                 }
             }
-            self.req(req).b.handling_ns += step.compute_ns as u64;
             t += compute;
 
             if let Some(access) = step.access {
@@ -983,24 +1060,29 @@ impl<'w> Simulation<'w> {
                 let cq = self.cfg.cq_poll;
                 {
                     let r = self.req(req);
-                    r.parked_at = t;
                     r.worker = w;
+                    if let Some(sb) = r.spans.as_mut() {
+                        // Coalesced wait: no fault span of our own (the
+                        // fetch belongs to another request) — park and
+                        // wait for its completion.
+                        sb.phase(stage::HANDLE, t);
+                        sb.phase(stage::CTX, t + ctx);
+                        sb.end_segment(t + ctx);
+                    }
                 }
                 self.inflight
                     .get_mut(&page)
                     .expect("in-flight page")
                     .waiters
                     .push(req);
-                self.req(req).b.ctxswitch_ns += ctx.as_nanos();
                 self.worker_pick_next(w, t + ctx + cq);
                 false
             }
             FaultPolicy::BusyWait | FaultPolicy::BusyWaitPreempt => {
                 let spin = done_at.since(t);
-                {
-                    let r = self.req(req);
-                    r.b.busywait_ns += spin.as_nanos();
-                    r.b.rdma_ns += spin.as_nanos();
+                if let Some(sb) = self.sb(req) {
+                    sb.phase(stage::HANDLE, t);
+                    sb.phase(stage::SPIN, done_at);
                 }
                 self.metrics.add(self.ids.spin_ns, spin.as_nanos());
                 self.trace(t, "worker", "spin", w as u64, spin.as_nanos());
@@ -1021,12 +1103,17 @@ impl<'w> Simulation<'w> {
     /// Handles a page fault. Returns `false` (always, in practice): the
     /// request blocked and `execute` must return.
     fn fault(&mut self, w: usize, req: usize, page: u64, _write: bool, mut t: SimTime) -> bool {
+        // Flush compute up to the faulting access and open the fault
+        // span (re-entrant: a retry continues the fault it opened).
+        if let Some(sb) = self.sb(req) {
+            sb.phase(stage::HANDLE, t);
+            sb.begin_fault(t, page);
+        }
         // Fault-handler entry (+ kernel crossing on Hermit).
         let mut entry = self.cfg.fault_entry;
         if let Some(k) = self.cfg.kernel {
             entry += k.fault_entry + k.swap_work;
         }
-        self.req(req).b.handling_ns += entry.as_nanos();
         t += entry;
         self.trace(t, "fault", "miss", req as u64, page);
 
@@ -1041,14 +1128,14 @@ impl<'w> Simulation<'w> {
                     if dirty {
                         self.writeback(t, victim);
                     }
-                    let cost = self.cfg.direct_reclaim_cost;
-                    self.req(req).b.handling_ns += cost.as_nanos();
-                    t += cost;
+                    t += self.cfg.direct_reclaim_cost;
                     assert!(self.cache.begin_fetch(page), "evicted frame not reusable");
                 }
                 None => {
                     // Every frame is in flight: wait briefly and retry.
-                    self.req(req).parked_at = t;
+                    if let Some(sb) = self.sb(req) {
+                        sb.phase(stage::HANDLE, t);
+                    }
                     self.events.push(
                         t + SimDuration::from_nanos(500),
                         Ev::WorkerWake {
@@ -1085,14 +1172,23 @@ impl<'w> Simulation<'w> {
                 let evicted = self.cache.evict_one();
                 debug_assert!(evicted.is_some());
                 self.workers[w].blocked = Some((req, t));
-                self.req(req).parked_at = t;
+                // The QP_STALL phase is emitted when a CQE frees a slot
+                // (see on_fetch_done); flush the handler work now.
+                if let Some(sb) = self.sb(req) {
+                    sb.phase(stage::HANDLE, t);
+                }
                 return false;
             }
         };
-        {
-            let issue = self.cfg.fault_issue + self.cfg.prefetch_compute;
-            let r = self.req(req);
-            r.b.handling_ns += issue.as_nanos();
+        let post_at = t + self.cfg.fault_issue;
+        if let Some(sb) = self.sb(req) {
+            sb.fetch(
+                post_at,
+                completion.issued_at,
+                completion.done_at,
+                page,
+                qp.0 as u64,
+            );
         }
         t += self.cfg.fault_issue + self.cfg.prefetch_compute;
         self.metrics.gauge_set(
@@ -1121,9 +1217,12 @@ impl<'w> Simulation<'w> {
                 let cq = self.cfg.cq_poll;
                 {
                     let r = self.req(req);
-                    r.parked_at = t;
                     r.worker = w;
-                    r.b.ctxswitch_ns += ctx.as_nanos();
+                    if let Some(sb) = r.spans.as_mut() {
+                        sb.phase(stage::HANDLE, t);
+                        sb.phase(stage::CTX, t + ctx);
+                        sb.end_segment(t + ctx);
+                    }
                 }
                 self.inflight
                     .get_mut(&page)
@@ -1134,10 +1233,9 @@ impl<'w> Simulation<'w> {
             }
             FaultPolicy::BusyWait | FaultPolicy::BusyWaitPreempt => {
                 let spin = completion.done_at.saturating_since(t);
-                {
-                    let r = self.req(req);
-                    r.b.busywait_ns += spin.as_nanos();
-                    r.b.rdma_ns += spin.as_nanos();
+                if let Some(sb) = self.sb(req) {
+                    sb.phase(stage::HANDLE, t);
+                    sb.phase(stage::SPIN, completion.done_at);
                 }
                 self.metrics.add(self.ids.spin_ns, spin.as_nanos());
                 self.trace(t, "worker", "spin", w as u64, spin.as_nanos());
@@ -1238,9 +1336,8 @@ impl<'w> Simulation<'w> {
         // A fault paused on this worker's full QP can retry now.
         if let Some((req, since)) = self.workers[w].blocked.take() {
             let spin = now.saturating_since(since);
-            {
-                let r = self.req(req);
-                r.b.busywait_ns += spin.as_nanos();
+            if let Some(sb) = self.sb(req) {
+                sb.phase(stage::QP_STALL, now);
             }
             self.metrics.add(self.ids.spin_ns, spin.as_nanos());
             self.trace(now, "worker", "spin", w as u64, spin.as_nanos());
@@ -1347,17 +1444,21 @@ impl<'w> Simulation<'w> {
     }
 
     fn finish_request(&mut self, w: usize, req: usize, mut t: SimTime) {
-        let reply_bytes = {
-            let build = self.cfg.reply_build + self.cfg.client_stack;
-            let r = self.req(req);
-            r.b.handling_ns += build.as_nanos();
-            r.trace.reply_bytes
-        };
-        t += self.cfg.reply_build + self.cfg.client_stack;
+        let reply_bytes = self.req(req).trace.reply_bytes;
+        let build = self.cfg.reply_build + self.cfg.client_stack;
+        if let Some(sb) = self.sb(req) {
+            // Flush compute since the last blocking point, then the
+            // reply serialisation.
+            sb.phase(stage::HANDLE, t);
+            sb.phase(stage::REPLY, t + build);
+        }
+        t += build;
         if self.cfg.fault_policy == FaultPolicy::Yield {
             // Switch from the unithread back to the worker.
             let ctx = self.cfg.ctx_switch;
-            self.req(req).b.ctxswitch_ns += ctx.as_nanos();
+            if let Some(sb) = self.sb(req) {
+                sb.phase(stage::CTX, t + ctx);
+            }
             t += ctx;
         }
         let tx = self.eth.send_reply(t, reply_bytes);
@@ -1369,18 +1470,43 @@ impl<'w> Simulation<'w> {
             // time does not stall admissions (CQEs wait in the CQ).
             self.dispatcher_free = self.dispatcher_free.max(t) + self.cfg.recycle_cost;
         } else {
-            // The worker spins until the TX completion.
+            // The worker spins until the TX completion. The spin can
+            // outlast the client's receive instant (CQE raise vs. wire
+            // propagation); the tail past `client_rx_at` is not part of
+            // this request's latency, so the span is clamped to it.
             let spin = tx.cqe_at.saturating_since(t);
-            self.req(req).b.busywait_ns += spin.as_nanos();
+            if let Some(sb) = self.sb(req) {
+                sb.phase(stage::TX_WAIT, tx.cqe_at.min(tx.client_rx_at));
+            }
             self.metrics.add(self.ids.spin_ns, spin.as_nanos());
             self.trace(t, "worker", "spin", w as u64, spin.as_nanos());
             t = t.max(tx.cqe_at);
         }
-        let (class, tx_time, b) = {
+        let (class, tx_time) = {
             let r = self.req(req);
-            (r.trace.class, r.tx_time, r.b)
+            (r.trace.class, r.tx_time)
         };
-        self.recorder.complete(class, tx_time, tx.client_rx_at, b);
+        let rx = tx.client_rx_at;
+        // Close the tree (reply flight to the client is the final NET
+        // phase) and derive the breakdown from its critical path. A
+        // segment re-dispatched onto a lagging worker clock can leave
+        // the span cursor a few tens of ns past `client_rx_at` (the
+        // bounded virtual-time skew documented at the top of this
+        // file); the completion instant is the later of the two so the
+        // attribution always tiles the recorded end-to-end latency.
+        let builder = self.req(req).spans.take();
+        let (rx, b) = match (self.span_store.as_mut(), builder) {
+            (Some(store), Some(mut sb)) => {
+                let rx = rx.max(sb.cursor());
+                sb.end_segment(t.min(rx));
+                sb.phase(stage::NET, rx);
+                let in_window = rx >= self.warmup_end && rx < self.measure_end;
+                let b = Breakdown::from_critical_path(&store.complete(sb, rx, in_window));
+                (rx, b)
+            }
+            _ => (rx, Breakdown::default()),
+        };
+        self.recorder.complete(class, tx_time, rx, b);
         self.free_req(req);
         self.metrics.inc(self.ids.completions);
         self.trace(t, "worker", "complete", w as u64, req as u64);
@@ -1506,6 +1632,7 @@ mod tests {
             burst: None,
             timeline_bucket: None,
             trace_capacity: None,
+            spans: None,
         }
     }
 

@@ -30,6 +30,7 @@ fn main() {
                 burst,
                 timeline_bucket: Some(SimDuration::from_micros(500)),
                 trace_capacity: None,
+                spans: None,
             },
         );
         let tl = r.timeline.as_ref().expect("timeline requested");

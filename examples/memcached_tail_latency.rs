@@ -31,6 +31,7 @@ fn main() {
                     burst: None,
                     timeline_bucket: None,
                     trace_capacity: None,
+                    spans: None,
                 },
             );
             let h = result.recorder.overall();
@@ -74,6 +75,7 @@ fn main() {
                     burst: None,
                     timeline_bucket: None,
                     trace_capacity: None,
+                    spans: None,
                 },
             );
             total += result.recorder.overall().percentile(99.9) as f64;

@@ -37,6 +37,7 @@ fn main() {
                 burst: None,
                 timeline_bucket: None,
                 trace_capacity: None,
+                spans: None,
             },
         );
         let g = result.recorder.class(CLASS_GET);

@@ -39,6 +39,7 @@ fn main() {
                     burst: None,
                     timeline_bucket: None,
                     trace_capacity: None,
+                    spans: None,
                 },
             );
             let h = result.recorder.overall();

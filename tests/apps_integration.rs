@@ -15,6 +15,7 @@ fn params(rps: f64, measure_ms: u64) -> RunParams {
         burst: None,
         timeline_bucket: None,
         trace_capacity: None,
+        spans: None,
     }
 }
 

@@ -16,6 +16,7 @@ fn params(seed: u64) -> RunParams {
         burst: None,
         timeline_bucket: None,
         trace_capacity: None,
+        spans: None,
     }
 }
 
@@ -103,6 +104,44 @@ fn metrics_and_trace_json_bitwise_reproducible() {
     assert_ne!(
         adios::core_api::run_json(&a),
         adios::core_api::run_json(&c),
+        "different seeds must not collide"
+    );
+}
+
+#[test]
+fn span_and_perfetto_json_bitwise_reproducible() {
+    // The span layer inherits the simulation's determinism too: equal
+    // seeds must serialise to byte-identical span-tree and Perfetto
+    // JSON (exemplar selection included).
+    use adios::desim::span::{perfetto_json, spans_to_json};
+    let mut p = params(5);
+    p.spans = Some(adios::desim::SpanConfig::with_exemplars(95.0, 32));
+    let mut w1 = ArrayIndexWorkload::new(16_384);
+    let mut w2 = ArrayIndexWorkload::new(16_384);
+    let a = run_one(SystemConfig::adios(), &mut w1, p.clone());
+    let b = run_one(SystemConfig::adios(), &mut w2, p.clone());
+    let (ra, rb) = (a.spans.as_ref().unwrap(), b.spans.as_ref().unwrap());
+    assert!(!ra.exemplars.is_empty(), "tail exemplars expected");
+    assert_eq!(ra.measured, rb.measured);
+    assert_eq!(ra.stats.to_json(), rb.stats.to_json());
+    assert_eq!(
+        spans_to_json(&ra.exemplars),
+        spans_to_json(&rb.exemplars),
+        "equal seeds must serialise identical span trees"
+    );
+    assert_eq!(
+        perfetto_json(&ra.exemplars),
+        perfetto_json(&rb.exemplars),
+        "equal seeds must serialise identical Perfetto JSON"
+    );
+
+    let mut w3 = ArrayIndexWorkload::new(16_384);
+    let mut p2 = p.clone();
+    p2.seed = 6;
+    let c = run_one(SystemConfig::adios(), &mut w3, p2);
+    assert_ne!(
+        spans_to_json(&ra.exemplars),
+        spans_to_json(&c.spans.as_ref().unwrap().exemplars),
         "different seeds must not collide"
     );
 }

@@ -143,6 +143,96 @@ fn breakdowns_are_sane() {
     }
 }
 
+/// Every percentile family the span layer reports is monotone:
+/// p50 ≤ p99 ≤ p99.9 for the end-to-end histogram of every sweep row
+/// and for every per-stage histogram.
+#[test]
+fn span_percentiles_are_monotone() {
+    let mut gen = Rng::new(0x5AA5);
+    for case in 0..8 {
+        let kind = SystemKind::all()[case % 4];
+        let rps = 200_000.0 + gen.gen_f64() * 1_800_000.0;
+        let seed = gen.gen_range(1_000);
+        let mut wl = ArrayIndexWorkload::new(8_192);
+        let r = run_one(
+            SystemConfig::for_kind(kind),
+            &mut wl,
+            RunParams {
+                offered_rps: rps,
+                seed,
+                warmup: SimDuration::from_millis(2),
+                measure: SimDuration::from_millis(6),
+                local_mem_fraction: 0.2,
+                spans: Some(adios::desim::SpanConfig::stats_only()),
+                ..Default::default()
+            },
+        );
+        let ctx = format!("{} rps={rps:.0} seed={seed}", kind.name());
+        let h = r.recorder.overall();
+        assert!(h.percentile(50.0) <= h.percentile(99.0), "{ctx}");
+        assert!(h.percentile(99.0) <= h.percentile(99.9), "{ctx}");
+        let report = r.spans.as_ref().expect("span stats requested");
+        for (name, h) in report.stats.iter() {
+            let (p50, p99, p999) = (h.percentile(50.0), h.percentile(99.0), h.percentile(99.9));
+            assert!(p50 <= p99, "{ctx} stage {name}: p50 {p50} > p99 {p99}");
+            assert!(p99 <= p999, "{ctx} stage {name}: p99 {p99} > p99.9 {p999}");
+            assert!(p999 <= h.max(), "{ctx} stage {name}");
+        }
+    }
+}
+
+/// Critical-path attribution tiles the request exactly: the ten phase
+/// components of every measured request sum to its end-to-end latency,
+/// and the aggregated `BreakdownAt` rows inherit that identity within
+/// float rounding.
+#[test]
+fn critical_path_components_sum_to_e2e() {
+    for kind in SystemKind::all() {
+        let mut wl = ArrayIndexWorkload::new(8_192);
+        let mut r = run_one(
+            SystemConfig::for_kind(kind),
+            &mut wl,
+            RunParams {
+                offered_rps: 1_200_000.0,
+                seed: 17,
+                warmup: SimDuration::from_millis(2),
+                measure: SimDuration::from_millis(6),
+                local_mem_fraction: 0.2,
+                keep_breakdowns: true,
+                spans: Some(adios::desim::SpanConfig::default()),
+                ..Default::default()
+            },
+        );
+        let report = r.spans.as_ref().expect("attributions requested");
+        assert!(!report.attributions.is_empty(), "{}", kind.name());
+        for cp in &report.attributions {
+            assert_eq!(
+                cp.components_sum(),
+                cp.e2e_ns,
+                "{}: stage components must tile the request exactly",
+                kind.name()
+            );
+        }
+        for p in [10.0, 50.0, 99.0, 99.9] {
+            let b = r.recorder.breakdown_at(p);
+            if b.mean_e2e_ns == 0.0 {
+                continue;
+            }
+            // total_ns() excludes the busy-wait overlay (spin time is
+            // already inside rdma_ns), so means must match e2e exactly
+            // up to float rounding.
+            let diff = (b.mean.total_ns() - b.mean_e2e_ns).abs();
+            assert!(
+                diff <= 1.0,
+                "{} P{p}: components {} vs e2e {}",
+                kind.name(),
+                b.mean.total_ns(),
+                b.mean_e2e_ns
+            );
+        }
+    }
+}
+
 /// Workload traces from the applications always replay to completion
 /// (no stuck requests) at a light load.
 #[test]
