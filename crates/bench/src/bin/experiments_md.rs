@@ -24,8 +24,8 @@ const USAGE: &str = "\
 usage: experiments_md [FLAGS]
 
 With no flags, runs every experiment and writes EXPERIMENTS.md.
-Any smoke flag (--trace / --spans / --perfetto) skips the sweep and
-runs one short instrumented run per system instead.
+Any smoke flag (--trace / --spans / --perfetto / --faults) skips the
+sweep and runs one short instrumented run per system instead.
 
 flags:
   --help             print this message and exit
@@ -37,6 +37,11 @@ flags:
                      <out-dir>/spans_<system>.json
   --perfetto <path>  also write the Adios run's Perfetto JSON to
                      exactly <path> (implies --spans)
+  --faults <name>    inject a named fault scenario into the smoke runs
+                     (none, lossy, flaky, stall, crash) and print the
+                     fault-plane / retransmission counters
+  --seed N           RNG seed for the smoke runs (unsigned integer,
+                     default 1)
   --out-dir <dir>    output directory (default: results)";
 
 /// Parsed command line.
@@ -45,12 +50,14 @@ struct Cli {
     trace_cap: usize,
     spans: bool,
     perfetto: Option<PathBuf>,
+    faults: Option<FaultScenario>,
+    seed: Option<u64>,
     out_dir: PathBuf,
 }
 
 impl Cli {
     fn smoke(&self) -> bool {
-        self.trace || self.spans || self.perfetto.is_some()
+        self.trace || self.spans || self.perfetto.is_some() || self.faults.is_some()
     }
 }
 
@@ -65,6 +72,8 @@ fn parse_args(args: &[String]) -> Cli {
         trace_cap: 100_000,
         spans: false,
         perfetto: None,
+        faults: None,
+        seed: None,
         out_dir: PathBuf::from("results"),
     };
     let mut it = args.iter();
@@ -94,6 +103,25 @@ fn parse_args(args: &[String]) -> Cli {
                 cli.perfetto = Some(PathBuf::from(v));
                 cli.spans = true;
             }
+            "--faults" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("--faults requires a scenario name"));
+                cli.faults = Some(FaultScenario::by_name(v).unwrap_or_else(|| {
+                    die(&format!(
+                        "unknown fault scenario: {v} (known: {})",
+                        FaultScenario::names().join(", ")
+                    ))
+                }));
+            }
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| die("--seed requires a value"));
+                cli.seed = Some(v.parse::<u64>().unwrap_or_else(|_| {
+                    die(&format!(
+                        "invalid --seed value: {v} (expected an unsigned integer)"
+                    ))
+                }));
+            }
             "--out-dir" => {
                 let v = it
                     .next()
@@ -112,7 +140,7 @@ fn smoke_mode(cli: &Cli) {
     std::fs::create_dir_all(&cli.out_dir).expect("create output directory");
     for kind in [SystemKind::Dilos, SystemKind::Adios] {
         let mut workload = ArrayIndexWorkload::new(16_384);
-        let params = RunParams {
+        let mut params = RunParams {
             offered_rps: 800_000.0,
             warmup: SimDuration::from_millis(1),
             measure: SimDuration::from_millis(2),
@@ -120,10 +148,47 @@ fn smoke_mode(cli: &Cli) {
             spans: cli
                 .spans
                 .then(|| desim::SpanConfig::with_exemplars(99.0, 64)),
+            faults: cli.faults.clone(),
             ..Default::default()
         };
-        let res = run_one(SystemConfig::for_kind(kind), &mut workload, params);
+        if let Some(seed) = cli.seed {
+            params.seed = seed;
+        }
+        let mut cfg = SystemConfig::for_kind(kind);
+        if cli.faults.is_some() {
+            // A secondary replica lets crash scenarios exercise failover
+            // instead of aborting every chain.
+            cfg.memnode_replicas = 2;
+        }
+        let res = run_one(cfg, &mut workload, params);
         let system = format!("{kind:?}").to_lowercase();
+
+        if let Some(scenario) = &cli.faults {
+            let c = |name: &str| res.metrics.counter(name).unwrap_or(0);
+            println!(
+                "==== {kind:?}: fault plane (scenario `{}`) ====",
+                scenario.name
+            );
+            println!(
+                "    injected: {} losses, {} cqe errors",
+                c("faults.injected_losses"),
+                c("faults.injected_cqe_errors")
+            );
+            println!(
+                "    nic: {} retransmits, {} error cqes, {} failovers, \
+                 {} chain failures, {} aborts",
+                c("fetch_retransmits"),
+                c("fetch_cqe_errors"),
+                c("fetch_failovers"),
+                c("fetch_chain_failures"),
+                c("fetch_aborts")
+            );
+            println!(
+                "    completed {} requests, dropped {}\n",
+                res.recorder.completed_in_window(),
+                res.recorder.dropped()
+            );
+        }
 
         if cli.trace {
             let trace = res.trace.as_deref().unwrap_or(&[]);

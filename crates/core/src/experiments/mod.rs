@@ -50,6 +50,7 @@ pub(crate) fn sweep(
                 trace_capacity: None,
                 // Per-stage latency histograms for every sweep row.
                 spans: Some(desim::SpanConfig::stats_only()),
+                faults: None,
             };
             Simulation::new(cfg.clone(), workload, params).run()
         })
@@ -78,6 +79,7 @@ pub(crate) fn run_with_breakdowns(
         // Full span layer: the Figure 2c/7c breakdowns are derived from
         // the per-request span trees' critical paths.
         spans: Some(desim::SpanConfig::default()),
+        faults: None,
     };
     Simulation::new(cfg.clone(), workload, params).run()
 }

@@ -30,6 +30,7 @@ pub mod experiments;
 pub mod report;
 pub mod scale;
 
+pub use faults::{FaultScenario, FaultStats};
 pub use report::{run_json, Expectation, FigureReport, Series};
 pub use runtime::sim::{run_one, RunParams, RunResult};
 pub use runtime::{
@@ -44,6 +45,7 @@ pub mod prelude {
     pub use crate::scale::Scale;
     pub use apps::{FaissWorkload, MemcachedWorkload, RocksDbWorkload, TpccWorkload};
     pub use desim::{SimDuration, SimTime};
+    pub use faults::FaultScenario;
     pub use loadgen::LoadPoint;
     pub use runtime::sim::{run_one, RunParams, RunResult};
     pub use runtime::{

@@ -81,8 +81,16 @@ pub mod node {
     pub const FETCH: &str = "fetch";
     /// Fetch sub-span: doorbell→NIC engine dispatch.
     pub const NIC_QUEUE: &str = "nic_queue";
-    /// Fetch sub-span: NIC engine dispatch→DMA completion.
+    /// Fetch sub-span: NIC engine dispatch→DMA completion (of the
+    /// final transmission attempt when the transport retransmitted).
     pub const WIRE: &str = "wire";
+    /// Fetch sub-span: RC retransmission window, first dispatch→final
+    /// attempt's send (`a` = retransmission count). Only present when
+    /// the transport retransmitted.
+    pub const RETRANS: &str = "retrans";
+    /// Instant marker: the runtime re-issued a failed fetch on the
+    /// failover QP (`a` = replica the retry targets, `b` = attempt).
+    pub const FAILOVER: &str = "failover";
 }
 
 /// One node in a request's span tree.
@@ -266,8 +274,27 @@ impl SpanBuilder {
     /// (child of the open fault, segment, or root) with `nic_queue`
     /// and `wire` sub-spans split at `issued`.
     pub fn fetch(&mut self, post: SimTime, issued: SimTime, done: SimTime, page: u64, qp: u64) {
+        self.fetch_with_retrans(post, issued, issued, done, page, qp, 0);
+    }
+
+    /// Like [`SpanBuilder::fetch`], but for a transfer the RC transport
+    /// retransmitted: `wire_start` is the final attempt's send instant,
+    /// and `[issued, wire_start]` becomes a `retrans` sub-span carrying
+    /// the retransmission count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fetch_with_retrans(
+        &mut self,
+        post: SimTime,
+        issued: SimTime,
+        wire_start: SimTime,
+        done: SimTime,
+        page: u64,
+        qp: u64,
+        retransmits: u32,
+    ) {
         let done = done.max(post);
         let issued = issued.clamp(post, done);
+        let wire_start = wire_start.clamp(issued, done);
         let parent = self.phase_parent();
         let fetch_idx = self.spans.len() as u32;
         self.spans.push(Span {
@@ -286,13 +313,38 @@ impl SpanBuilder {
             a: page,
             b: qp,
         });
+        if retransmits > 0 && wire_start > issued {
+            self.spans.push(Span {
+                name: node::RETRANS,
+                parent: fetch_idx,
+                start: issued,
+                end: wire_start,
+                a: retransmits as u64,
+                b: qp,
+            });
+        }
         self.spans.push(Span {
             name: node::WIRE,
             parent: fetch_idx,
-            start: issued,
+            start: wire_start,
             end: done,
             a: page,
             b: qp,
+        });
+    }
+
+    /// Emits a zero-length `failover` marker at `at`: the runtime gave
+    /// up on a fetch attempt and re-issued it targeting `replica`
+    /// (`attempt` counts issues of this fetch, starting at 1).
+    pub fn failover(&mut self, at: SimTime, replica: u64, attempt: u64) {
+        let parent = self.phase_parent();
+        self.spans.push(Span {
+            name: node::FAILOVER,
+            parent,
+            start: at,
+            end: at,
+            a: replica,
+            b: attempt,
         });
     }
 
@@ -801,7 +853,22 @@ pub fn perfetto_json(trees: &[SpanTree]) -> String {
                 node::REQUEST => 0,
                 node::SEGMENT => 1,
                 node::FAULT => 3,
-                node::FETCH | node::NIC_QUEUE | node::WIRE => {
+                node::FAILOVER => {
+                    push(
+                        &mut out,
+                        &mut first,
+                        format!(
+                            "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":3,\"ts\":{},\
+                             \"name\":\"failover\",\"s\":\"t\",\
+                             \"args\":{{\"a\":{},\"b\":{}}}}}",
+                            us(s.start),
+                            s.a,
+                            s.b
+                        ),
+                    );
+                    continue;
+                }
+                node::FETCH | node::NIC_QUEUE | node::WIRE | node::RETRANS => {
                     let id = async_id;
                     async_id += 1;
                     push(
@@ -972,6 +1039,55 @@ mod tests {
         // The spin after the fetch is a child of the fault.
         let spin = tree.spans.iter().find(|s| s.name == stage::SPIN).unwrap();
         assert_eq!(spin.parent as usize, fault);
+    }
+
+    #[test]
+    fn retransmitted_fetch_gets_a_retrans_child() {
+        let mut b = SpanBuilder::new(0, 0, t(0), Vec::new());
+        b.begin_fault(t(0), 9);
+        b.phase(stage::HANDLE, t(50));
+        b.fetch_with_retrans(t(50), t(70), t(16_070), t(18_000), 9, 2, 1);
+        b.failover(t(18_000), 1, 2);
+        b.fetch_with_retrans(t(18_000), t(18_020), t(18_020), t(20_000), 9, 3, 0);
+        b.phase(stage::SPIN, t(20_000));
+        b.end_fault(t(20_000));
+        let tree = b.finish(t(20_000));
+
+        let retrans: Vec<&Span> = tree
+            .spans
+            .iter()
+            .filter(|s| s.name == node::RETRANS)
+            .collect();
+        assert_eq!(retrans.len(), 1, "only the lossy fetch has one");
+        assert_eq!(retrans[0].start, t(70));
+        assert_eq!(retrans[0].end, t(16_070));
+        assert_eq!(retrans[0].a, 1, "carries the retransmit count");
+
+        // The first fetch's wire span starts at the final attempt.
+        let wires: Vec<&Span> = tree.spans.iter().filter(|s| s.name == node::WIRE).collect();
+        assert_eq!(wires[0].start, t(16_070));
+        assert_eq!(wires[1].start, t(18_020));
+
+        let fo = tree
+            .spans
+            .iter()
+            .find(|s| s.name == node::FAILOVER)
+            .expect("failover marker");
+        assert_eq!((fo.start, fo.a, fo.b), (t(18_000), 1, 2));
+        assert_eq!(fo.dur_ns(), 0);
+
+        // Structural additions never disturb the phase-tiling identity.
+        let cp = CriticalPath::of(&tree);
+        assert_eq!(cp.components_sum(), tree.e2e_ns());
+        // Both fetch walls are accounted.
+        assert_eq!(cp.fetch_wall_ns, (18_000 - 50) + (20_000 - 18_000));
+
+        // Perfetto export renders retrans as async pair and failover as
+        // an instant event, deterministically.
+        let json = perfetto_json(&[tree]);
+        assert!(json.contains("\"name\":\"retrans\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"name\":\"failover\""));
     }
 
     #[test]

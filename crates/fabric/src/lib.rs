@@ -34,5 +34,5 @@ pub mod params;
 pub use eth::{EthPort, RxRing};
 pub use link::Link;
 pub use memnode::MemNode;
-pub use nic::{Completion, CqId, OccupancySnapshot, PostError, QpId, RdmaNic};
+pub use nic::{Completion, CompletionStatus, CqId, OccupancySnapshot, PostError, QpId, RdmaNic};
 pub use params::FabricParams;

@@ -10,6 +10,7 @@
 /// The remote memory node backing the compute node's paged memory.
 #[derive(Debug, Clone)]
 pub struct MemNode {
+    id: u32,
     total_pages: u64,
     page_size: u32,
     reads: u64,
@@ -20,9 +21,10 @@ pub struct MemNode {
 
 impl MemNode {
     /// Creates a memory node exporting `total_pages` pages of
-    /// `page_size` bytes.
+    /// `page_size` bytes, with id 0.
     pub fn new(total_pages: u64, page_size: u32) -> MemNode {
         MemNode {
+            id: 0,
             total_pages,
             page_size,
             reads: 0,
@@ -30,6 +32,18 @@ impl MemNode {
             bytes_read: 0,
             bytes_written: 0,
         }
+    }
+
+    /// Assigns the node id the fault plane keys its health episodes on
+    /// (replica 0 is the primary; replicas take ids 1, 2, …).
+    pub fn with_id(mut self, id: u32) -> MemNode {
+        self.id = id;
+        self
+    }
+
+    /// This node's id in the fault plane's namespace.
+    pub fn id(&self) -> u32 {
+        self.id
     }
 
     /// Serves a one-sided READ of `page`.

@@ -16,8 +16,19 @@
 //!   PF-aware dispatching (Algorithm 1): "the user-level scheduler
 //!   directly accesses the kernel-level QP information exposed by the
 //!   unikernel".
+//!
+//! With an armed [`FaultPlane`], `post` additionally models the RC
+//! transport: a lost request or response packet goes unacknowledged
+//! until the retransmission timeout fires, the engine retransmits with
+//! exponential backoff, and after `rc_retries` failed retransmissions
+//! the work request completes with a fatal CQE error
+//! ([`CompletionStatus::RetryExceeded`]). Retransmissions are generated
+//! by the NIC's transport engine an RTO after the original send, so
+//! they bypass the WQE-engine and link FIFO heads (which were already
+//! charged at post time) and only account wasted wire bytes.
 
-use desim::SimTime;
+use desim::{SimDuration, SimTime};
+use faults::{FaultPlane, NodeHealth};
 
 use crate::link::Link;
 use crate::memnode::MemNode;
@@ -47,6 +58,19 @@ pub enum PostError {
     QpFull,
 }
 
+/// How a work request's CQE reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionStatus {
+    /// The transfer completed.
+    Success,
+    /// The RC retry budget was exhausted: the original send and all
+    /// `rc_retries` retransmissions went unacknowledged.
+    RetryExceeded,
+    /// The transfer was delivered but the CQE carries a fatal error
+    /// (remote access/protection fault, WR flushed).
+    RemoteError,
+}
+
 /// A successfully posted work request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Completion {
@@ -59,8 +83,25 @@ pub struct Completion {
     /// span layer splits each fetch into `nic_queue` (post→issue) and
     /// `wire` (issue→completion) at this instant.
     pub issued_at: SimTime,
+    /// Simulated instant the *final* transmission attempt went on the
+    /// wire. Equals `issued_at` unless the transport retransmitted;
+    /// the span layer renders `[issued_at, wire_start]` as the
+    /// retransmission phase.
+    pub wire_start: SimTime,
     /// Simulated instant the CQE becomes pollable.
     pub done_at: SimTime,
+    /// How the CQE reports (errors are still CQEs: the caller must
+    /// consume them with [`RdmaNic::on_cqe`] at `done_at`).
+    pub status: CompletionStatus,
+    /// RC retransmissions this WR needed (0 on a lossless fabric).
+    pub retransmits: u32,
+}
+
+impl Completion {
+    /// Whether the CQE reports a fatal error.
+    pub fn is_error(&self) -> bool {
+        self.status != CompletionStatus::Success
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -144,11 +185,49 @@ impl RdmaNic {
         self.qps[qp.0 as usize].cq = cq;
     }
 
+    /// The backed-off RTO armed after transmission attempt `attempt`
+    /// (0 = the original send): base RTO doubling per retry, capped.
+    fn rto_backoff(&self, attempt: u32) -> SimDuration {
+        let ns = self
+            .params
+            .rto
+            .as_nanos()
+            .saturating_mul(1u64 << attempt.min(16));
+        SimDuration::from_nanos(ns.min(self.params.rto_cap.as_nanos()).max(1))
+    }
+
+    /// Extra one-way cost a degraded link adds on top of a FIFO
+    /// transmit: the slowed-down share of serialization plus added
+    /// latency. Zero (exactly) on a healthy link.
+    fn degrade_extra(&self, bytes: u32, pen: &faults::LinkPenalty) -> SimDuration {
+        if pen.bw_factor <= 1.0 && pen.extra_latency == SimDuration::ZERO {
+            return SimDuration::ZERO;
+        }
+        let base = self.params.serialize(bytes).as_nanos() as f64;
+        let slow = (base * (pen.bw_factor - 1.0)).max(0.0).round() as u64;
+        SimDuration::from_nanos(slow) + pen.extra_latency
+    }
+
+    /// Full analytic one-way cost of a retransmitted packet (which
+    /// bypasses the link FIFO): degraded serialization + propagation +
+    /// added latency.
+    fn retransmit_leg(&self, bytes: u32, pen: &faults::LinkPenalty) -> SimDuration {
+        let base = self.params.serialize(bytes).as_nanos() as f64;
+        let ser = (base * pen.bw_factor.max(1.0)).round() as u64;
+        SimDuration::from_nanos(ser.max(1)) + self.params.propagation + pen.extra_latency
+    }
+
     /// Posts a one-sided verb of `bytes` payload on `qp` at `now`.
     ///
     /// On success, the QP's outstanding count rises by one; the caller
     /// must call [`RdmaNic::on_cqe`] when simulated time reaches
-    /// `done_at` (i.e. when it processes the completion event).
+    /// `done_at` (i.e. when it processes the completion event) — for
+    /// error completions too, since errors are still CQEs.
+    ///
+    /// `plane` injects faults; with [`FaultPlane::inert`] the transfer
+    /// timing is bit-identical to the lossless model (no rng draws, no
+    /// penalties).
+    #[allow(clippy::too_many_arguments)]
     pub fn post(
         &mut self,
         now: SimTime,
@@ -157,6 +236,7 @@ impl RdmaNic {
         page: u64,
         bytes: u32,
         mem: &mut MemNode,
+        plane: &mut FaultPlane,
     ) -> Result<Completion, PostError> {
         if self.qps[qp.0 as usize].outstanding >= self.params.qp_depth {
             return Err(PostError::QpFull);
@@ -172,29 +252,83 @@ impl RdmaNic {
         self.engine_free = self.engine_free.max(ready) + self.params.nic_engine;
         let dispatched = self.engine_free;
 
-        let done_at = match verb {
+        let (out_bytes, in_bytes) = match verb {
             Verb::Read => {
                 self.posted_reads += 1;
-                let req_at_remote = self.to_remote.transmit(dispatched, self.ctrl_bytes);
-                mem.serve_read(page);
-                let data_ready = req_at_remote + self.params.remote_processing;
-                let data_here = self.from_remote.transmit(data_ready, bytes);
-                data_here + self.params.local_dma
+                (self.ctrl_bytes, bytes)
             }
             Verb::Write => {
                 self.posted_writes += 1;
-                let data_at_remote = self.to_remote.transmit(dispatched, bytes);
-                mem.serve_write(page);
-                let ack_ready = data_at_remote + self.params.remote_processing;
-                let ack_here = self.from_remote.transmit(ack_ready, self.ctrl_bytes);
-                ack_here + self.params.local_dma
+                (bytes, self.ctrl_bytes)
             }
+        };
+
+        // RC transfer: each attempt sends the outbound leg, the remote
+        // serves it, and the inbound leg returns. A loss anywhere means
+        // no CQE — the transport waits out the (backed-off) RTO and
+        // retransmits, up to the retry budget. Attempt 0 rides the
+        // normal FIFO resources; retransmissions happen an RTO later in
+        // transport hardware and are charged analytically (see
+        // `Link::account`).
+        let mut attempt: u32 = 0;
+        let mut send_at = dispatched;
+        let (status, done_at) = loop {
+            let retx = attempt > 0;
+            let out_pen = plane.link_penalty(send_at);
+            let out_arrive = if retx {
+                self.to_remote.account(out_bytes);
+                send_at + self.retransmit_leg(out_bytes, &out_pen)
+            } else {
+                let arrive = self.to_remote.transmit(send_at, out_bytes);
+                arrive + self.degrade_extra(out_bytes, &out_pen)
+            };
+            let delivered = !plane.packet_lost(send_at)
+                && plane.node_health(mem.id(), out_arrive) != NodeHealth::Down;
+            if delivered {
+                match verb {
+                    Verb::Read => mem.serve_read(page),
+                    Verb::Write => mem.serve_write(page),
+                }
+                let stall = match plane.node_health(mem.id(), out_arrive) {
+                    NodeHealth::Stalled(d) => d,
+                    _ => SimDuration::ZERO,
+                };
+                let resp_ready = out_arrive + self.params.remote_processing + stall;
+                let in_pen = plane.link_penalty(resp_ready);
+                let resp_here = if retx {
+                    self.from_remote.account(in_bytes);
+                    resp_ready + self.retransmit_leg(in_bytes, &in_pen)
+                } else {
+                    let arrive = self.from_remote.transmit(resp_ready, in_bytes);
+                    arrive + self.degrade_extra(in_bytes, &in_pen)
+                };
+                if !plane.packet_lost(resp_ready) {
+                    let done = resp_here + self.params.local_dma;
+                    let status = if plane.cqe_error(done) {
+                        CompletionStatus::RemoteError
+                    } else {
+                        CompletionStatus::Success
+                    };
+                    break (status, done);
+                }
+            }
+            // No ACK: wait out the RTO armed at send time, then either
+            // retransmit or give up with a fatal CQE.
+            let timeout_at = send_at + self.rto_backoff(attempt);
+            if attempt >= self.params.rc_retries {
+                break (CompletionStatus::RetryExceeded, timeout_at);
+            }
+            send_at = timeout_at;
+            attempt += 1;
         };
         Ok(Completion {
             qp,
             cq,
             issued_at: dispatched,
+            wire_start: send_at,
             done_at,
+            status,
+            retransmits: attempt,
         })
     }
 
@@ -268,7 +402,7 @@ impl RdmaNic {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use desim::SimDuration;
+    use faults::FaultScenario;
 
     fn setup() -> (RdmaNic, MemNode) {
         (
@@ -277,11 +411,37 @@ mod tests {
         )
     }
 
+    fn inert() -> FaultPlane {
+        FaultPlane::inert()
+    }
+
+    /// A scenario whose every packet is lost (loss probability 1).
+    fn black_hole() -> FaultPlane {
+        FaultPlane::new(
+            FaultScenario {
+                name: "black-hole",
+                loss: 1.0,
+                corrupt: 0.0,
+                cqe_error: 0.0,
+                episodes: Vec::new(),
+            },
+            1,
+        )
+    }
+
     #[test]
     fn unloaded_read_completes_in_paper_window() {
         let (mut nic, mut mem) = setup();
         let c = nic
-            .post(SimTime(0), QpId(0), Verb::Read, 7, 4096, &mut mem)
+            .post(
+                SimTime(0),
+                QpId(0),
+                Verb::Read,
+                7,
+                4096,
+                &mut mem,
+                &mut inert(),
+            )
             .unwrap();
         let us = c.done_at.as_nanos() as f64 / 1000.0;
         assert!((1.9..=3.1).contains(&us), "fetch = {us} us");
@@ -292,10 +452,26 @@ mod tests {
     #[test]
     fn outstanding_tracks_posts_and_cqes() {
         let (mut nic, mut mem) = setup();
-        nic.post(SimTime(0), QpId(2), Verb::Read, 0, 4096, &mut mem)
-            .unwrap();
-        nic.post(SimTime(0), QpId(2), Verb::Read, 1, 4096, &mut mem)
-            .unwrap();
+        nic.post(
+            SimTime(0),
+            QpId(2),
+            Verb::Read,
+            0,
+            4096,
+            &mut mem,
+            &mut inert(),
+        )
+        .unwrap();
+        nic.post(
+            SimTime(0),
+            QpId(2),
+            Verb::Read,
+            1,
+            4096,
+            &mut mem,
+            &mut inert(),
+        )
+        .unwrap();
         assert_eq!(nic.outstanding(QpId(2)), 2);
         assert_eq!(nic.total_outstanding(), 2);
         nic.on_cqe(SimTime(5_000), QpId(2));
@@ -310,16 +486,48 @@ mod tests {
         };
         let mut nic = RdmaNic::new(params, 1);
         let mut mem = MemNode::new(100, 4096);
-        nic.post(SimTime(0), QpId(0), Verb::Read, 0, 4096, &mut mem)
-            .unwrap();
-        nic.post(SimTime(0), QpId(0), Verb::Read, 1, 4096, &mut mem)
-            .unwrap();
-        let err = nic.post(SimTime(0), QpId(0), Verb::Read, 2, 4096, &mut mem);
+        nic.post(
+            SimTime(0),
+            QpId(0),
+            Verb::Read,
+            0,
+            4096,
+            &mut mem,
+            &mut inert(),
+        )
+        .unwrap();
+        nic.post(
+            SimTime(0),
+            QpId(0),
+            Verb::Read,
+            1,
+            4096,
+            &mut mem,
+            &mut inert(),
+        )
+        .unwrap();
+        let err = nic.post(
+            SimTime(0),
+            QpId(0),
+            Verb::Read,
+            2,
+            4096,
+            &mut mem,
+            &mut inert(),
+        );
         assert_eq!(err, Err(PostError::QpFull));
         // A CQE frees a slot.
         nic.on_cqe(SimTime(5_000), QpId(0));
         assert!(nic
-            .post(SimTime(0), QpId(0), Verb::Read, 2, 4096, &mut mem)
+            .post(
+                SimTime(0),
+                QpId(0),
+                Verb::Read,
+                2,
+                4096,
+                &mut mem,
+                &mut inert()
+            )
             .is_ok());
     }
 
@@ -327,10 +535,26 @@ mod tests {
     fn engine_is_shared_across_qps() {
         let (mut nic, mut mem) = setup();
         let a = nic
-            .post(SimTime(0), QpId(0), Verb::Read, 0, 4096, &mut mem)
+            .post(
+                SimTime(0),
+                QpId(0),
+                Verb::Read,
+                0,
+                4096,
+                &mut mem,
+                &mut inert(),
+            )
             .unwrap();
         let b = nic
-            .post(SimTime(0), QpId(1), Verb::Read, 1, 4096, &mut mem)
+            .post(
+                SimTime(0),
+                QpId(1),
+                Verb::Read,
+                1,
+                4096,
+                &mut mem,
+                &mut inert(),
+            )
             .unwrap();
         // Both pay engine + wire queueing; the second completes later.
         assert!(b.done_at > a.done_at);
@@ -341,7 +565,15 @@ mod tests {
         let (mut nic, mut mem) = setup();
         nic.associate_cq(QpId(3), CqId(0));
         let c = nic
-            .post(SimTime(0), QpId(3), Verb::Read, 0, 4096, &mut mem)
+            .post(
+                SimTime(0),
+                QpId(3),
+                Verb::Read,
+                0,
+                4096,
+                &mut mem,
+                &mut inert(),
+            )
             .unwrap();
         assert_eq!(c.cq, CqId(0));
         assert_eq!(c.qp, QpId(3));
@@ -352,8 +584,16 @@ mod tests {
         let (mut nic, mut mem) = setup();
         let before_out = nic.ctrl_link().snapshot();
         let before_in = nic.data_link().snapshot();
-        nic.post(SimTime(0), QpId(0), Verb::Write, 9, 4096, &mut mem)
-            .unwrap();
+        nic.post(
+            SimTime(0),
+            QpId(0),
+            Verb::Write,
+            9,
+            4096,
+            &mut mem,
+            &mut inert(),
+        )
+        .unwrap();
         let d_out = nic.ctrl_link().snapshot().bytes - before_out.bytes;
         let d_in = nic.data_link().snapshot().bytes - before_in.bytes;
         assert!(d_out > 4096, "page travels outbound");
@@ -366,8 +606,16 @@ mod tests {
         let (mut nic, mut mem) = setup();
         let before = nic.data_link().snapshot();
         for p in 0..10 {
-            nic.post(SimTime(0), QpId(0), Verb::Read, p, 4096, &mut mem)
-                .unwrap();
+            nic.post(
+                SimTime(0),
+                QpId(0),
+                Verb::Read,
+                p,
+                4096,
+                &mut mem,
+                &mut inert(),
+            )
+            .unwrap();
         }
         let after = nic.data_link().snapshot();
         assert_eq!(after.bytes - before.bytes, 10 * (4096 + 78));
@@ -391,6 +639,7 @@ mod tests {
                     p,
                     4096,
                     &mut mem,
+                    &mut inert(),
                 )
                 .unwrap();
             if p > 10 {
@@ -412,14 +661,30 @@ mod tests {
     fn issued_at_splits_queue_from_wire() {
         let (mut nic, mut mem) = setup();
         let a = nic
-            .post(SimTime(0), QpId(0), Verb::Read, 0, 4096, &mut mem)
+            .post(
+                SimTime(0),
+                QpId(0),
+                Verb::Read,
+                0,
+                4096,
+                &mut mem,
+                &mut inert(),
+            )
             .unwrap();
         // Doorbell + engine paid before dispatch; wire after.
         assert!(a.issued_at > SimTime(0));
         assert!(a.issued_at < a.done_at);
         // A second post queues behind the first in the shared engine.
         let b = nic
-            .post(SimTime(0), QpId(1), Verb::Read, 1, 4096, &mut mem)
+            .post(
+                SimTime(0),
+                QpId(1),
+                Verb::Read,
+                1,
+                4096,
+                &mut mem,
+                &mut inert(),
+            )
             .unwrap();
         assert!(b.issued_at > a.issued_at);
     }
@@ -436,10 +701,26 @@ mod tests {
         let (mut nic, mut mem) = setup();
         // Two WRs held from t=0; one retires at t=1000, the other at
         // t=3000. Integral = 2*1000 + 1*2000 = 4000 WR·ns.
-        nic.post(SimTime(0), QpId(0), Verb::Read, 0, 4096, &mut mem)
-            .unwrap();
-        nic.post(SimTime(0), QpId(1), Verb::Read, 1, 4096, &mut mem)
-            .unwrap();
+        nic.post(
+            SimTime(0),
+            QpId(0),
+            Verb::Read,
+            0,
+            4096,
+            &mut mem,
+            &mut inert(),
+        )
+        .unwrap();
+        nic.post(
+            SimTime(0),
+            QpId(1),
+            Verb::Read,
+            1,
+            4096,
+            &mut mem,
+            &mut inert(),
+        )
+        .unwrap();
         nic.on_cqe(SimTime(1_000), QpId(0));
         nic.on_cqe(SimTime(3_000), QpId(1));
         let occ = nic.occupancy(SimTime(3_000));
@@ -447,5 +728,210 @@ mod tests {
         assert_eq!(occ.max, 2);
         // Idle afterwards: the integral stops growing.
         assert_eq!(nic.occupancy(SimTime(10_000)).weighted_ns, 4_000);
+    }
+
+    #[test]
+    fn lossless_post_reports_success_with_no_retransmits() {
+        let (mut nic, mut mem) = setup();
+        let c = nic
+            .post(
+                SimTime(0),
+                QpId(0),
+                Verb::Read,
+                7,
+                4096,
+                &mut mem,
+                &mut inert(),
+            )
+            .unwrap();
+        assert_eq!(c.status, CompletionStatus::Success);
+        assert_eq!(c.retransmits, 0);
+        assert_eq!(c.wire_start, c.issued_at);
+        assert!(!c.is_error());
+    }
+
+    #[test]
+    fn black_hole_exhausts_retry_budget_with_backoff() {
+        let (mut nic, mut mem) = setup();
+        let mut plane = black_hole();
+        let c = nic
+            .post(
+                SimTime(0),
+                QpId(0),
+                Verb::Read,
+                7,
+                4096,
+                &mut mem,
+                &mut plane,
+            )
+            .unwrap();
+        assert_eq!(c.status, CompletionStatus::RetryExceeded);
+        assert!(c.is_error());
+        assert_eq!(c.retransmits, FabricParams::default().rc_retries);
+        // 16 + 32 + 64 + 128 + 4×256 µs of backed-off RTOs.
+        let elapsed = c.done_at.since(c.issued_at).as_nanos();
+        assert_eq!(elapsed, 1_264_000, "RTO ladder = {elapsed} ns");
+        assert!(c.wire_start > c.issued_at);
+        // No request ever reached the node.
+        assert_eq!(mem.reads(), 0);
+        // The QP slot is held until the error CQE is consumed.
+        assert_eq!(nic.outstanding(QpId(0)), 1);
+        nic.on_cqe(c.done_at, QpId(0));
+        assert_eq!(nic.outstanding(QpId(0)), 0);
+    }
+
+    #[test]
+    fn retransmissions_account_wasted_bandwidth_without_fifo_distortion() {
+        let (mut nic, mut mem) = setup();
+        let before = nic.ctrl_link().snapshot();
+        let free_before = nic.ctrl_link().next_free();
+        let c = nic
+            .post(
+                SimTime(0),
+                QpId(0),
+                Verb::Read,
+                7,
+                4096,
+                &mut mem,
+                &mut black_hole(),
+            )
+            .unwrap();
+        let after = nic.ctrl_link().snapshot();
+        // Original + every retransmission consumed request-sized bytes.
+        assert_eq!(after.messages - before.messages, 1 + c.retransmits as u64);
+        // Only the original send moved the FIFO head (to the end of its
+        // own ~8 ns serialization at dispatch) — not out to the RTO
+        // ladder a transmit-per-retry would imply.
+        let free_after = nic.ctrl_link().next_free();
+        assert!(free_after > free_before);
+        assert!(
+            free_after < c.issued_at + SimDuration::from_nanos(100),
+            "FIFO head at {free_after:?} distorted by retransmissions"
+        );
+    }
+
+    #[test]
+    fn node_down_is_indistinguishable_from_loss_and_replica_survives() {
+        let params = FabricParams::default();
+        let mut plane = FaultPlane::new(FaultScenario::crash(), 3);
+        let t = SimTime(20_000_000); // inside the outage window
+        let mut primary = MemNode::new(1 << 20, 4096); // id 0: down
+        let mut nic = RdmaNic::new(params.clone(), 8);
+        let c = nic
+            .post(t, QpId(0), Verb::Read, 7, 4096, &mut primary, &mut plane)
+            .unwrap();
+        assert_eq!(c.status, CompletionStatus::RetryExceeded);
+        assert_eq!(primary.reads(), 0);
+        nic.on_cqe(c.done_at, QpId(0));
+
+        let mut replica = MemNode::new(1 << 20, 4096).with_id(1);
+        let c2 = nic
+            .post(t, QpId(0), Verb::Read, 7, 4096, &mut replica, &mut plane)
+            .unwrap();
+        assert_eq!(c2.status, CompletionStatus::Success);
+        assert_eq!(c2.retransmits, 0);
+        assert_eq!(replica.reads(), 1);
+    }
+
+    #[test]
+    fn node_stall_delays_the_response() {
+        let mut healthy = inert();
+        let mut plane = FaultPlane::new(FaultScenario::stall(), 3);
+        let t = SimTime(3_200_000); // inside a stall window
+        let (mut nic_a, mut mem_a) = setup();
+        let base = nic_a
+            .post(t, QpId(0), Verb::Read, 7, 4096, &mut mem_a, &mut healthy)
+            .unwrap();
+        let (mut nic_b, mut mem_b) = setup();
+        let stalled = nic_b
+            .post(t, QpId(0), Verb::Read, 7, 4096, &mut mem_b, &mut plane)
+            .unwrap();
+        assert_eq!(stalled.status, CompletionStatus::Success);
+        assert_eq!(
+            stalled.done_at.since(base.done_at),
+            SimDuration::from_micros(50)
+        );
+    }
+
+    #[test]
+    fn injected_cqe_error_is_fatal_but_on_time() {
+        let (mut nic, mut mem) = setup();
+        let mut plane = FaultPlane::new(
+            FaultScenario {
+                name: "poison",
+                loss: 0.0,
+                corrupt: 0.0,
+                cqe_error: 1.0,
+                episodes: Vec::new(),
+            },
+            1,
+        );
+        let c = nic
+            .post(
+                SimTime(0),
+                QpId(0),
+                Verb::Read,
+                7,
+                4096,
+                &mut mem,
+                &mut plane,
+            )
+            .unwrap();
+        assert_eq!(c.status, CompletionStatus::RemoteError);
+        assert_eq!(c.retransmits, 0);
+        // The data transfer itself completed (and was served) on time.
+        assert_eq!(mem.reads(), 1);
+        let us = c.done_at.as_nanos() as f64 / 1000.0;
+        assert!((1.9..=3.1).contains(&us), "fetch = {us} us");
+    }
+
+    #[test]
+    fn degraded_link_window_slows_the_transfer() {
+        let mut plane = FaultPlane::new(
+            FaultScenario {
+                name: "degraded",
+                loss: 0.0,
+                corrupt: 0.0,
+                cqe_error: 0.0,
+                episodes: vec![faults::Episode {
+                    start: SimTime(0),
+                    end: SimTime(1_000_000),
+                    kind: faults::EpisodeKind::LinkDegraded {
+                        extra_latency: SimDuration::from_micros(2),
+                        bw_factor: 2.0,
+                        loss: 0.0,
+                    },
+                }],
+            },
+            1,
+        );
+        let (mut nic_a, mut mem_a) = setup();
+        let base = nic_a
+            .post(
+                SimTime(0),
+                QpId(0),
+                Verb::Read,
+                7,
+                4096,
+                &mut mem_a,
+                &mut inert(),
+            )
+            .unwrap();
+        let (mut nic_b, mut mem_b) = setup();
+        let slow = nic_b
+            .post(
+                SimTime(0),
+                QpId(0),
+                Verb::Read,
+                7,
+                4096,
+                &mut mem_b,
+                &mut plane,
+            )
+            .unwrap();
+        // Both legs pay +2 µs latency; the data leg also pays ~334 ns of
+        // halved bandwidth, the request leg a few ns.
+        let extra = slow.done_at.since(base.done_at).as_nanos();
+        assert!((4_300..4_500).contains(&extra), "extra = {extra} ns");
     }
 }

@@ -29,6 +29,16 @@ pub struct FabricParams {
     pub local_dma: SimDuration,
     /// Send-queue depth per QP (maximum outstanding work requests).
     pub qp_depth: u32,
+    /// Base RC retransmission timeout: how long the transport engine
+    /// waits for the missing response/ACK before retransmitting. RoCE
+    /// `local_ack_timeout` granularity puts practical minima in the
+    /// tens of microseconds.
+    pub rto: SimDuration,
+    /// RC retry budget (`retry_cnt`): retransmissions allowed before
+    /// the work request completes with a fatal CQE error.
+    pub rc_retries: u32,
+    /// Cap on the exponentially backed-off RTO.
+    pub rto_cap: SimDuration,
     /// RX descriptor ring size of the Ethernet port.
     pub rx_ring_entries: usize,
     /// TX engine occupancy per Ethernet transmit.
@@ -50,6 +60,9 @@ impl Default for FabricParams {
             remote_processing: SimDuration::from_nanos(600),
             local_dma: SimDuration::from_nanos(250),
             qp_depth: 64,
+            rto: SimDuration::from_micros(16),
+            rc_retries: 7,
+            rto_cap: SimDuration::from_micros(256),
             rx_ring_entries: 4096,
             eth_tx_engine: SimDuration::from_nanos(150),
             eth_tx_completion: SimDuration::from_nanos(1_000),

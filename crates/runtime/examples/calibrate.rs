@@ -25,6 +25,7 @@ fn main() {
                 timeline_bucket: None,
                 trace_capacity: None,
                 spans: None,
+                faults: None,
             };
             let mut w = ArrayIndexWorkload::new(pages);
             let res = run_one(SystemConfig::for_kind(kind), &mut w, params);

@@ -213,6 +213,13 @@ pub struct SystemConfig {
     pub direct_reclaim_cost: SimDuration,
     /// Central pending-queue capacity (arrivals beyond it are dropped).
     pub pending_cap: usize,
+    /// Memory-node replicas available to the paging layer. Replica 0
+    /// is the primary every fetch targets first; under an armed fault
+    /// plane, a fetch whose CQE errors fails over to the next replica.
+    pub memnode_replicas: usize,
+    /// Total issue attempts per demand fetch (the original plus
+    /// failovers) before the runtime gives up and aborts the request.
+    pub max_fetch_attempts: u32,
     /// Fabric parameters.
     pub fabric: FabricParams,
 }
@@ -254,6 +261,8 @@ impl SystemConfig {
             reclaim_wake_delay: SimDuration::from_micros(5),
             direct_reclaim_cost: SimDuration::from_nanos(600),
             pending_cap: 4096,
+            memnode_replicas: 1,
+            max_fetch_attempts: 3,
             fabric: FabricParams::default(),
         }
     }

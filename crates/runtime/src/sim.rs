@@ -26,6 +26,7 @@ use desim::{
 use fabric::link::Link;
 use fabric::nic::Verb;
 use fabric::{EthPort, FabricParams, MemNode, QpId, RdmaNic};
+use faults::{FaultPlane, FaultScenario, FaultStats};
 use loadgen::{Breakdown, BurstyLoop, LoadPoint, OpenLoop, Recorder};
 use paging::prefetch::{LeapDetector, SeqDetector};
 use paging::reclaim::ReclaimerMode;
@@ -68,6 +69,11 @@ pub struct RunParams {
     /// mode when [`RunParams::keep_breakdowns`] is set, since
     /// breakdowns are derived from the span trees.
     pub spans: Option<SpanConfig>,
+    /// Fault scenario to arm the fabric's fault plane with (None = the
+    /// inert plane: a lossless fabric, bit-identical to runs predating
+    /// fault injection). Seeded from [`RunParams::seed`], so a run with
+    /// the same seed and scenario replays byte-identically.
+    pub faults: Option<FaultScenario>,
 }
 
 impl Default for RunParams {
@@ -83,6 +89,7 @@ impl Default for RunParams {
             timeline_bucket: None,
             trace_capacity: None,
             spans: None,
+            faults: None,
         }
     }
 }
@@ -154,8 +161,19 @@ struct MetricIds {
     reclaim_ticks: CounterId,
     rdma_data_msgs: CounterId,
     rdma_ctrl_msgs: CounterId,
+    qp_full_retries: CounterId,
+    fetch_retransmits: CounterId,
+    fetch_cqe_errors: CounterId,
+    fetch_failovers: CounterId,
+    fetch_chain_failures: CounterId,
+    fetch_aborts: CounterId,
+    prefetch_errors: CounterId,
+    writeback_errors: CounterId,
+    injected_losses: CounterId,
+    injected_cqe_errors: CounterId,
     queue_depth: GaugeId,
     qp_outstanding: GaugeId,
+    fault_episode_active: GaugeId,
 }
 
 impl MetricIds {
@@ -175,8 +193,19 @@ impl MetricIds {
             reclaim_ticks: m.counter("reclaim_ticks"),
             rdma_data_msgs: m.counter("rdma_data_msgs"),
             rdma_ctrl_msgs: m.counter("rdma_ctrl_msgs"),
+            qp_full_retries: m.counter("nic.qp_full_retries"),
+            fetch_retransmits: m.counter("fetch_retransmits"),
+            fetch_cqe_errors: m.counter("fetch_cqe_errors"),
+            fetch_failovers: m.counter("fetch_failovers"),
+            fetch_chain_failures: m.counter("fetch_chain_failures"),
+            fetch_aborts: m.counter("fetch_aborts"),
+            prefetch_errors: m.counter("prefetch_errors"),
+            writeback_errors: m.counter("writeback_errors"),
+            injected_losses: m.counter("faults.injected_losses"),
+            injected_cqe_errors: m.counter("faults.injected_cqe_errors"),
             queue_depth: m.gauge("queue_depth"),
             qp_outstanding: m.gauge("qp_outstanding"),
+            fault_episode_active: m.gauge("fault_episode_active"),
         }
     }
 }
@@ -250,6 +279,9 @@ enum Cont {
     AfterBusyWait { req: usize },
     /// Retry a fault that could not allocate or post.
     RetryFault { req: usize },
+    /// A busy-waited fetch surfaced an error completion after retry
+    /// exhaustion / failover-chain exhaustion: the request is dropped.
+    AbortFault { req: usize },
 }
 
 #[derive(Debug)]
@@ -269,6 +301,10 @@ enum Ev {
     WriteDone,
     /// Reclaimer processes its next batch.
     ReclaimTick,
+    /// An intermediate error CQE of a failover chain becomes pollable;
+    /// consuming it frees the QP slot (the chain continued on another
+    /// QP, so nothing resumes here).
+    CqeRetire { qp: QpId },
 }
 
 /// Per-request prefetch-pattern detector.
@@ -332,8 +368,24 @@ struct Worker {
     blocked: Option<(usize, SimTime)>,
 }
 
+/// How a demand-fetch chain resolved (see `Simulation::issue_fetch`).
+struct FetchOutcome {
+    /// QP carrying the terminal completion.
+    qp: QpId,
+    /// When the terminal completion becomes pollable.
+    done_at: SimTime,
+    /// Terminal completion is an error (chain exhausted).
+    failed: bool,
+}
+
 struct Inflight {
     done_at: SimTime,
+    /// QP whose CQE retires this fetch (the failover QP when the fetch
+    /// chain migrated off the faulting worker's QP).
+    qp: QpId,
+    /// The terminal completion is an error: at `done_at` the page is
+    /// still remote and every requester must abort.
+    failed: bool,
     /// Yield-policy waiters (request ids) to resume on completion.
     waiters: Vec<usize>,
     /// Completion consumed early by a worker that caught up with it.
@@ -368,7 +420,14 @@ pub struct Simulation<'w> {
     events: EventQueue<Ev>,
     eth: EthPort,
     nic: RdmaNic,
-    mem: MemNode,
+    /// Memory-node replicas; demand fetches start at replica 0 and fail
+    /// over round-robin on error completions.
+    mems: Vec<MemNode>,
+    /// Deterministic fault injector consulted by every NIC post (the
+    /// inert plane draws nothing and perturbs nothing).
+    plane: FaultPlane,
+    /// Plane counters at the warm-up boundary (window re-basing).
+    plane_start: FaultStats,
     cache: PageCache,
     workload: &'w mut dyn Workload,
     arrivals: Arrivals,
@@ -459,12 +518,23 @@ impl<'w> Simulation<'w> {
         let mut metrics = Metrics::new();
         let ids = MetricIds::register(&mut metrics);
 
+        let plane = match params.faults.clone() {
+            Some(s) => FaultPlane::new(s, params.seed ^ 0xFA17_1A7E_0000_0001),
+            None => FaultPlane::inert(),
+        };
+
         Simulation {
             events: EventQueue::new(),
             eth: EthPort::new(&fabric_params),
-            // One QP per worker plus the reclaimer's write-back QP.
-            nic: RdmaNic::new(fabric_params, cfg.workers as u32 + 1),
-            mem: MemNode::new(total_pages, PAGE_SIZE as u32),
+            // One QP per worker, the reclaimer's write-back QP, and the
+            // failover QP used by fetch chains re-issued after an error
+            // completion.
+            nic: RdmaNic::new(fabric_params, cfg.workers as u32 + 2),
+            mems: (0..cfg.memnode_replicas.max(1))
+                .map(|i| MemNode::new(total_pages, PAGE_SIZE as u32).with_id(i as u32))
+                .collect(),
+            plane,
+            plane_start: FaultStats::default(),
             cache,
             arrivals: match params.burst {
                 None => Arrivals::Poisson(OpenLoop::new(params.offered_rps, params.seed)),
@@ -538,6 +608,7 @@ impl<'w> Simulation<'w> {
                 ));
                 self.cache_start = Some(self.cache.stats());
                 self.metrics.reset(now);
+                self.plane_start = self.plane.stats();
             }
             if self.end_snap.is_none() && now >= self.measure_end {
                 self.end_snap = Some((
@@ -614,6 +685,17 @@ impl<'w> Simulation<'w> {
             self.metrics
                 .add(self.ids.rdma_ctrl_msgs, c1.messages - c0.messages);
         }
+        // Fault-plane counters accumulate from t=0; fold in the
+        // measurement-window delta like the link message counts above.
+        let fs = self.plane.stats();
+        self.metrics.add(
+            self.ids.injected_losses,
+            fs.losses - self.plane_start.losses,
+        );
+        self.metrics.add(
+            self.ids.injected_cqe_errors,
+            fs.cqe_errors - self.plane_start.cqe_errors,
+        );
         self.metrics_snap = Some(self.metrics.snapshot(now));
     }
 
@@ -706,6 +788,7 @@ impl<'w> Simulation<'w> {
             Ev::WaiterReady { req } => self.on_waiter_ready(now, req),
             Ev::WriteDone => self.on_write_done(now),
             Ev::ReclaimTick => self.on_reclaim_tick(now),
+            Ev::CqeRetire { qp } => self.on_cqe_retire(now, qp),
         }
     }
 
@@ -722,6 +805,11 @@ impl<'w> Simulation<'w> {
         if let Some(tl) = &mut self.timeline {
             tl.queue_depth.record(now, depth as f64);
             tl.inflight.record(now, self.nic.total_outstanding() as f64);
+        }
+        if self.plane.active() {
+            let in_episode = self.plane.episode_active(now);
+            self.metrics
+                .gauge_set(self.ids.fault_episode_active, now, in_episode as u64 as f64);
         }
         self.trace(now, "dispatch", "arrival", req as u64, depth as u64);
         // Request flight + RX path: tx_time → delivery.
@@ -857,6 +945,7 @@ impl<'w> Simulation<'w> {
                 Cont::Resume { req } => ("seg_resume", req),
                 Cont::AfterBusyWait { req } => ("seg_after_spin", req),
                 Cont::RetryFault { req } => ("seg_retry", req),
+                Cont::AbortFault { req } => ("seg_abort", req),
             };
             self.trace(now, "worker", name, w as u64, req as u64);
         }
@@ -949,6 +1038,20 @@ impl<'w> Simulation<'w> {
                 }
                 // Re-enter the fault for the current step's page.
                 self.execute(w, req, now);
+            }
+            Cont::AbortFault { req } => {
+                // The fetch chain exhausted its retries/replicas: the
+                // request cannot make progress and is dropped, exactly
+                // as a real runtime would surface an I/O error to the
+                // application after burning the full retry ladder.
+                let tx = self.req(req).tx_time;
+                self.recorder.drop_request(tx);
+                self.discard_spans(req);
+                self.free_req(req);
+                self.metrics.inc(self.ids.drops);
+                self.metrics.inc(self.ids.fetch_aborts);
+                self.trace(now, "fault", "abort", w as u64, req as u64);
+                self.worker_pick_next(w, now);
             }
         }
     }
@@ -1044,7 +1147,56 @@ impl<'w> Simulation<'w> {
     /// Waits on an already-in-flight fetch. Returns `true` if the fetch
     /// had in fact completed by `t` (caller continues inline).
     fn wait_on_inflight(&mut self, w: usize, req: usize, page: u64, t: SimTime) -> bool {
-        let done_at = self.inflight.get(&page).expect("in-flight page").done_at;
+        let (done_at, failed) = {
+            let info = self.inflight.get(&page).expect("in-flight page");
+            (info.done_at, info.failed)
+        };
+        if failed {
+            // The fetch we coalesced onto will surface an error CQE: the
+            // page never arrives, so this request aborts too. Yielders
+            // park as usual and are dropped when the error surfaces
+            // (on_fetch_done); busy-waiters burn until the CQE and then
+            // abort — the page was never mapped, so early consumption is
+            // impossible.
+            match self.cfg.fault_policy {
+                FaultPolicy::Yield => {
+                    let ctx = self.cfg.ctx_switch;
+                    let cq = self.cfg.cq_poll;
+                    {
+                        let r = self.req(req);
+                        r.worker = w;
+                        if let Some(sb) = r.spans.as_mut() {
+                            sb.phase(stage::HANDLE, t);
+                            sb.phase(stage::CTX, t + ctx);
+                            sb.end_segment(t + ctx);
+                        }
+                    }
+                    self.inflight
+                        .get_mut(&page)
+                        .expect("in-flight page")
+                        .waiters
+                        .push(req);
+                    self.worker_pick_next(w, t + ctx + cq);
+                }
+                FaultPolicy::BusyWait | FaultPolicy::BusyWaitPreempt => {
+                    let spin = done_at.saturating_since(t);
+                    if let Some(sb) = self.sb(req) {
+                        sb.phase(stage::HANDLE, t);
+                        sb.phase(stage::SPIN, done_at.max(t));
+                    }
+                    self.metrics.add(self.ids.spin_ns, spin.as_nanos());
+                    self.trace(t, "worker", "spin", w as u64, spin.as_nanos());
+                    self.events.push(
+                        done_at.max(t),
+                        Ev::WorkerWake {
+                            worker: w,
+                            cont: Cont::AbortFault { req },
+                        },
+                    );
+                }
+            }
+            return false;
+        }
         if done_at <= t {
             // The completion predates our virtual time: consume it early.
             let info = self.inflight.get_mut(&page).expect("in-flight page");
@@ -1149,23 +1301,18 @@ impl<'w> Simulation<'w> {
         }
         self.kick_reclaimer(t);
 
-        // Post the one-sided READ.
+        // Post the one-sided READ, following the failover chain across
+        // replicas when completions come back in error.
         let qp = self.workers[w].qp;
-        let fetch_bytes = self.cfg.fetch_page_bytes;
-        let completion = match self.nic.post(
-            t + self.cfg.fault_issue,
-            qp,
-            Verb::Read,
-            page,
-            fetch_bytes,
-            &mut self.mem,
-        ) {
-            Ok(c) => c,
+        let post_at = t + self.cfg.fault_issue;
+        let outcome = match self.issue_fetch(req, qp, page, post_at) {
+            Ok(o) => o,
             Err(fabric::PostError::QpFull) => {
                 // §5.2: "page fault handlers must pause, waiting for
                 // available slots in the QPs". The worker is stuck (even
                 // under the yield policy the *handler* occupies it).
                 self.metrics.inc(self.ids.qp_stalls);
+                self.metrics.inc(self.ids.qp_full_retries);
                 self.trace(t, "fault", "qp_stall", w as u64, page);
                 // Undo the reservation: re-try will re-reserve.
                 self.cache.complete_fetch(page);
@@ -1180,16 +1327,6 @@ impl<'w> Simulation<'w> {
                 return false;
             }
         };
-        let post_at = t + self.cfg.fault_issue;
-        if let Some(sb) = self.sb(req) {
-            sb.fetch(
-                post_at,
-                completion.issued_at,
-                completion.done_at,
-                page,
-                qp.0 as u64,
-            );
-        }
         t += self.cfg.fault_issue + self.cfg.prefetch_compute;
         self.metrics.gauge_set(
             self.ids.qp_outstanding,
@@ -1199,13 +1336,15 @@ impl<'w> Simulation<'w> {
         self.inflight.insert(
             page,
             Inflight {
-                done_at: completion.done_at,
+                done_at: outcome.done_at,
+                qp: outcome.qp,
+                failed: outcome.failed,
                 waiters: Vec::new(),
                 completed_early: false,
             },
         );
         self.events
-            .push(completion.done_at, Ev::FetchDone { worker: w, page });
+            .push(outcome.done_at, Ev::FetchDone { worker: w, page });
 
         self.issue_prefetches(w, req, page, t);
 
@@ -1232,24 +1371,151 @@ impl<'w> Simulation<'w> {
                 self.worker_pick_next(w, t + ctx + cq);
             }
             FaultPolicy::BusyWait | FaultPolicy::BusyWaitPreempt => {
-                let spin = completion.done_at.saturating_since(t);
+                // Busy-waiters burn the whole retransmission/failover
+                // timeline on-core — the mechanism that separates the
+                // baselines from Adios under faults.
+                let spin = outcome.done_at.saturating_since(t);
                 if let Some(sb) = self.sb(req) {
                     sb.phase(stage::HANDLE, t);
-                    sb.phase(stage::SPIN, completion.done_at);
+                    sb.phase(stage::SPIN, outcome.done_at.max(t));
                 }
                 self.metrics.add(self.ids.spin_ns, spin.as_nanos());
                 self.trace(t, "worker", "spin", w as u64, spin.as_nanos());
-                let wake = completion.done_at.max(t);
-                self.events.push(
-                    wake,
-                    Ev::WorkerWake {
-                        worker: w,
-                        cont: Cont::AfterBusyWait { req },
-                    },
-                );
+                let wake = outcome.done_at.max(t);
+                let cont = if outcome.failed {
+                    Cont::AbortFault { req }
+                } else {
+                    Cont::AfterBusyWait { req }
+                };
+                self.events.push(wake, Ev::WorkerWake { worker: w, cont });
             }
         }
         false
+    }
+
+    /// Posts a demand READ for `page` at `at` on `qp`, following the
+    /// failover chain when completions surface in error: each error CQE
+    /// re-issues the fetch on the dedicated failover QP against the next
+    /// replica, until a clean completion or the attempt budget
+    /// (`max_fetch_attempts`) runs out.
+    ///
+    /// The analytic fabric resolves each attempt's completion time at
+    /// post time, so the whole chain is walked here; intermediate error
+    /// CQEs are retired via [`Ev::CqeRetire`] when they surface. The
+    /// previous attempt's CQE is retired only once the next post
+    /// succeeds — a full failover QP ends the chain at that CQE.
+    ///
+    /// Returns `Err(QpFull)` only when the *first* post finds the
+    /// worker's QP full (the caller pauses the fault handler).
+    fn issue_fetch(
+        &mut self,
+        req: usize,
+        qp0: QpId,
+        page: u64,
+        post_at: SimTime,
+    ) -> Result<FetchOutcome, fabric::PostError> {
+        let replicas = self.cfg.memnode_replicas.max(1);
+        let max_attempts = self.cfg.max_fetch_attempts.max(1);
+        let failover_qp = QpId(self.cfg.workers as u32 + 1);
+        let mut qp = qp0;
+        let mut replica = 0usize;
+        let mut at = post_at;
+        let mut attempt = 1u32;
+        // Terminal CQE of the previous (errored) attempt.
+        let mut pending: Option<(QpId, SimTime)> = None;
+        loop {
+            let completion = match self.post_read(at, qp, page, replica) {
+                Ok(c) => c,
+                Err(e) => {
+                    let Some((pqp, pdone)) = pending else {
+                        return Err(e);
+                    };
+                    // Failover QP full: the chain dies at the previous
+                    // error CQE.
+                    self.metrics.inc(self.ids.qp_full_retries);
+                    self.metrics.inc(self.ids.fetch_chain_failures);
+                    self.trace(at, "fault", "chain_fail", req as u64, page);
+                    return Ok(FetchOutcome {
+                        qp: pqp,
+                        done_at: pdone,
+                        failed: true,
+                    });
+                }
+            };
+            if let Some((pqp, pdone)) = pending.take() {
+                // The failover post took over: the previous error CQE
+                // only needs retiring when it becomes pollable.
+                self.events.push(pdone, Ev::CqeRetire { qp: pqp });
+                self.metrics.inc(self.ids.fetch_failovers);
+            }
+            if completion.retransmits > 0 {
+                self.metrics
+                    .add(self.ids.fetch_retransmits, completion.retransmits as u64);
+                self.trace(
+                    completion.wire_start,
+                    "fault",
+                    "retransmit",
+                    req as u64,
+                    completion.retransmits as u64,
+                );
+            }
+            if let Some(sb) = self.sb(req) {
+                sb.fetch_with_retrans(
+                    at,
+                    completion.issued_at,
+                    completion.wire_start,
+                    completion.done_at,
+                    page,
+                    qp.0 as u64,
+                    completion.retransmits,
+                );
+            }
+            if !completion.is_error() {
+                return Ok(FetchOutcome {
+                    qp,
+                    done_at: completion.done_at,
+                    failed: false,
+                });
+            }
+            self.metrics.inc(self.ids.fetch_cqe_errors);
+            self.trace(completion.done_at, "fault", "fetch_error", req as u64, page);
+            if attempt >= max_attempts {
+                self.metrics.inc(self.ids.fetch_chain_failures);
+                return Ok(FetchOutcome {
+                    qp,
+                    done_at: completion.done_at,
+                    failed: true,
+                });
+            }
+            pending = Some((qp, completion.done_at));
+            replica = (replica + 1) % replicas;
+            at = completion.done_at;
+            qp = failover_qp;
+            attempt += 1;
+            self.trace(at, "fault", "failover", replica as u64, attempt as u64);
+            if let Some(sb) = self.sb(req) {
+                sb.failover(at, replica as u64, attempt as u64);
+            }
+        }
+    }
+
+    /// One READ post against replica `replica`, through the fault plane.
+    fn post_read(
+        &mut self,
+        at: SimTime,
+        qp: QpId,
+        page: u64,
+        replica: usize,
+    ) -> Result<fabric::nic::Completion, fabric::PostError> {
+        self.nic.post(
+            at,
+            qp,
+            Verb::Read,
+            page,
+            self.cfg.fetch_page_bytes,
+            &mut self.mems[replica],
+            &mut self.plane,
+        )
     }
 
     /// Sequential + speculative readahead (§2.3: every system overlaps a
@@ -1275,21 +1541,23 @@ impl<'w> Simulation<'w> {
                 break;
             }
             assert!(self.cache.begin_fetch(p));
-            match self.nic.post(
-                t,
-                qp,
-                Verb::Read,
-                p,
-                self.cfg.fetch_page_bytes,
-                &mut self.mem,
-            ) {
+            match self.post_read(t, qp, p, 0) {
                 Ok(c) => {
                     self.metrics.inc(self.ids.prefetches);
                     self.trace(t, "fault", "prefetch", page, p);
+                    if c.is_error() {
+                        // Speculative fetches get no failover chain —
+                        // the error completion cancels the reservation
+                        // when it surfaces, and a later demand access
+                        // simply re-faults.
+                        self.metrics.inc(self.ids.prefetch_errors);
+                    }
                     self.inflight.insert(
                         p,
                         Inflight {
                             done_at: c.done_at,
+                            qp,
+                            failed: c.is_error(),
                             waiters: Vec::new(),
                             completed_early: false,
                         },
@@ -1299,6 +1567,7 @@ impl<'w> Simulation<'w> {
                 }
                 Err(_) => {
                     // QP full: drop the speculative fetch.
+                    self.metrics.inc(self.ids.qp_full_retries);
                     self.cache.complete_fetch(p);
                     let evicted = self.cache.evict_one();
                     debug_assert!(evicted.is_some());
@@ -1310,26 +1579,51 @@ impl<'w> Simulation<'w> {
     }
 
     fn on_fetch_done(&mut self, now: SimTime, w: usize, page: u64) {
-        self.nic.on_cqe(now, self.workers[w].qp);
+        let info = self.inflight.remove(&page);
+        // The CQE lands on the QP that carried the terminal attempt (the
+        // failover QP when the chain migrated); prefetch entries and
+        // pre-fault paths fall back to the worker's QP.
+        let cqe_qp = info.as_ref().map_or(self.workers[w].qp, |i| i.qp);
+        self.nic.on_cqe(now, cqe_qp);
         self.metrics.gauge_set(
             self.ids.qp_outstanding,
             now,
             self.nic.total_outstanding() as f64,
         );
         self.trace(now, "nic", "fetch_done", w as u64, page);
-        if let Some(info) = self.inflight.remove(&page) {
-            if !info.completed_early {
+        if let Some(info) = info {
+            if info.failed {
+                // The terminal completion is an error: the page never
+                // arrived. Cancel the frame reservation and abort every
+                // parked waiter (busy-waiters abort via their own
+                // scheduled wake).
+                debug_assert!(!info.completed_early, "failed fetch consumed early");
                 self.cache.complete_fetch(page);
-            }
-            for waiter in info.waiters {
-                self.req(waiter).fetch_done_at = now;
-                if self.cfg.resume_delay > SimDuration::ZERO {
-                    // Kernel scheduler wake-up before the thread is
-                    // runnable (Infiniswap).
-                    self.events
-                        .push(now + self.cfg.resume_delay, Ev::WaiterReady { req: waiter });
-                } else {
-                    self.make_waiter_ready(now, waiter);
+                let evicted = self.cache.evict_one();
+                debug_assert!(evicted.is_some());
+                self.trace(now, "fault", "fetch_failed", w as u64, page);
+                for waiter in info.waiters {
+                    let tx = self.req(waiter).tx_time;
+                    self.recorder.drop_request(tx);
+                    self.discard_spans(waiter);
+                    self.free_req(waiter);
+                    self.metrics.inc(self.ids.drops);
+                    self.metrics.inc(self.ids.fetch_aborts);
+                }
+            } else {
+                if !info.completed_early {
+                    self.cache.complete_fetch(page);
+                }
+                for waiter in info.waiters {
+                    self.req(waiter).fetch_done_at = now;
+                    if self.cfg.resume_delay > SimDuration::ZERO {
+                        // Kernel scheduler wake-up before the thread is
+                        // runnable (Infiniswap).
+                        self.events
+                            .push(now + self.cfg.resume_delay, Ev::WaiterReady { req: waiter });
+                    } else {
+                        self.make_waiter_ready(now, waiter);
+                    }
                 }
             }
         }
@@ -1579,14 +1873,22 @@ impl<'w> Simulation<'w> {
             Verb::Write,
             page,
             self.cfg.fetch_page_bytes,
-            &mut self.mem,
+            &mut self.mems[0],
+            &mut self.plane,
         ) {
             Ok(c) => {
                 self.metrics.inc(self.ids.writebacks);
+                if c.is_error() {
+                    // The frame was already reused and page contents are
+                    // host-side in this model, so a failed write-back is
+                    // only counted, not replayed.
+                    self.metrics.inc(self.ids.writeback_errors);
+                }
                 self.trace(now, "reclaim", "writeback", page, 0);
                 self.events.push(c.done_at, Ev::WriteDone);
             }
             Err(fabric::PostError::QpFull) => {
+                self.metrics.inc(self.ids.qp_full_retries);
                 self.deferred_writebacks.push_back(page);
             }
         }
@@ -1602,6 +1904,18 @@ impl<'w> Simulation<'w> {
         if let Some(page) = self.deferred_writebacks.pop_front() {
             self.writeback(now, page);
         }
+    }
+
+    /// An intermediate error CQE of a failover chain surfaced: consume
+    /// it so the QP slot frees (the chain already continued elsewhere).
+    fn on_cqe_retire(&mut self, now: SimTime, qp: QpId) {
+        self.nic.on_cqe(now, qp);
+        self.metrics.gauge_set(
+            self.ids.qp_outstanding,
+            now,
+            self.nic.total_outstanding() as f64,
+        );
+        self.trace(now, "nic", "cqe_retire", qp.0 as u64, 0);
     }
 }
 
@@ -1633,12 +1947,134 @@ mod tests {
             timeline_bucket: None,
             trace_capacity: None,
             spans: None,
+            faults: None,
         }
     }
 
     fn run(kind: SystemKind, rps: f64) -> RunResult {
         let mut w = small_workload();
         run_one(SystemConfig::for_kind(kind), &mut w, quick_params(rps))
+    }
+
+    fn run_faulty(cfg: SystemConfig, rps: f64, scenario: FaultScenario) -> RunResult {
+        let mut w = small_workload();
+        run_one(
+            cfg,
+            &mut w,
+            RunParams {
+                faults: Some(scenario),
+                ..quick_params(rps)
+            },
+        )
+    }
+
+    /// Every error CQE either fails over to the next replica or
+    /// terminates its chain — no fetch can vanish in between.
+    fn assert_fault_invariant(res: &RunResult) {
+        let c = |name| res.metrics.counter(name).unwrap_or(0);
+        assert_eq!(
+            c("fetch_cqe_errors"),
+            c("fetch_failovers") + c("fetch_chain_failures"),
+            "error CQEs must be exactly partitioned into failovers and chain failures"
+        );
+    }
+
+    #[test]
+    fn lossy_fabric_retransmits_but_conserves_every_request() {
+        for kind in [SystemKind::Dilos, SystemKind::Adios] {
+            let res = run_faulty(
+                SystemConfig::for_kind(kind),
+                400_000.0,
+                FaultScenario::lossy(),
+            );
+            let c = |name| res.metrics.counter(name).unwrap_or(0);
+            assert!(
+                c("fetch_retransmits") > 0,
+                "{}: 2% loss must trigger retransmissions",
+                kind.name()
+            );
+            // 7 RC retries put retry exhaustion at ~loss^8: every fetch
+            // eventually completes and nothing is dropped.
+            assert_eq!(res.recorder.dropped(), 0, "{}", kind.name());
+            assert_eq!(c("fetch_aborts"), 0, "{}", kind.name());
+            assert_fault_invariant(&res);
+            assert!(res.recorder.completed_in_window() > 500);
+        }
+    }
+
+    #[test]
+    fn memnode_crash_fails_over_to_replica() {
+        let cfg = SystemConfig {
+            memnode_replicas: 2,
+            ..SystemConfig::adios()
+        };
+        let res = run_faulty(cfg, 400_000.0, FaultScenario::crash());
+        let c = |name| res.metrics.counter(name).unwrap_or(0);
+        assert!(
+            c("fetch_failovers") > 0,
+            "outage fetches must divert to the secondary replica"
+        );
+        assert_eq!(res.recorder.dropped(), 0, "replica absorbs the outage");
+        assert_fault_invariant(&res);
+    }
+
+    #[test]
+    fn memnode_crash_without_replica_aborts_chains() {
+        // A failed chain burns ~3.8 ms of RTO ladders before its error
+        // CQE surfaces; keep measuring long enough to observe the
+        // aborts the 10 ms outage provokes.
+        let mut w = small_workload();
+        let res = run_one(
+            SystemConfig::adios(),
+            &mut w,
+            RunParams {
+                faults: Some(FaultScenario::crash()),
+                measure: SimDuration::from_millis(20),
+                ..quick_params(400_000.0)
+            },
+        );
+        let c = |name| res.metrics.counter(name).unwrap_or(0);
+        // With a single replica the failover chain re-targets the same
+        // dead node and exhausts its attempt budget.
+        assert!(c("fetch_chain_failures") > 0);
+        assert!(c("fetch_aborts") > 0);
+        assert!(res.recorder.dropped() > 0);
+        assert_fault_invariant(&res);
+    }
+
+    #[test]
+    fn stall_episodes_inflate_busywait_spin() {
+        let base = run(SystemKind::Dilos, 400_000.0);
+        let stalled = run_faulty(SystemConfig::dilos(), 400_000.0, FaultScenario::stall());
+        assert!(
+            stalled.stats.spin_ns > base.stats.spin_ns,
+            "stalled memnode must lengthen busy-wait spins: {} vs {}",
+            stalled.stats.spin_ns,
+            base.stats.spin_ns
+        );
+        assert_fault_invariant(&stalled);
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let a = run_faulty(SystemConfig::adios(), 500_000.0, FaultScenario::lossy());
+        let b = run_faulty(SystemConfig::adios(), 500_000.0, FaultScenario::lossy());
+        assert_eq!(
+            a.recorder.completed_in_window(),
+            b.recorder.completed_in_window()
+        );
+        assert_eq!(
+            a.recorder.overall().percentile(99.9),
+            b.recorder.overall().percentile(99.9)
+        );
+        assert_eq!(
+            a.metrics.counter("fetch_retransmits"),
+            b.metrics.counter("fetch_retransmits")
+        );
+        assert_eq!(
+            a.metrics.counter("faults.injected_losses"),
+            b.metrics.counter("faults.injected_losses")
+        );
     }
 
     #[test]

@@ -31,6 +31,7 @@ fn main() {
                 timeline_bucket: Some(SimDuration::from_micros(500)),
                 trace_capacity: None,
                 spans: None,
+                faults: None,
             },
         );
         let tl = r.timeline.as_ref().expect("timeline requested");

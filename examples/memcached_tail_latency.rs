@@ -32,6 +32,7 @@ fn main() {
                     timeline_bucket: None,
                     trace_capacity: None,
                     spans: None,
+                    faults: None,
                 },
             );
             let h = result.recorder.overall();
@@ -76,6 +77,7 @@ fn main() {
                     timeline_bucket: None,
                     trace_capacity: None,
                     spans: None,
+                    faults: None,
                 },
             );
             total += result.recorder.overall().percentile(99.9) as f64;

@@ -36,6 +36,7 @@ fn main() {
                 timeline_bucket: None,
                 trace_capacity: None,
                 spans: None,
+                faults: None,
             },
         );
         let h = result.recorder.overall();

@@ -38,6 +38,7 @@ fn main() {
                 timeline_bucket: None,
                 trace_capacity: None,
                 spans: None,
+                faults: None,
             },
         );
         let g = result.recorder.class(CLASS_GET);

@@ -40,6 +40,7 @@ fn main() {
                     timeline_bucket: None,
                     trace_capacity: None,
                     spans: None,
+                    faults: None,
                 },
             );
             let h = result.recorder.overall();

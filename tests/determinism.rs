@@ -17,6 +17,7 @@ fn params(seed: u64) -> RunParams {
         timeline_bucket: None,
         trace_capacity: None,
         spans: None,
+        faults: None,
     }
 }
 
@@ -143,6 +144,58 @@ fn span_and_perfetto_json_bitwise_reproducible() {
         spans_to_json(&ra.exemplars),
         spans_to_json(&c.spans.as_ref().unwrap().exemplars),
         "different seeds must not collide"
+    );
+}
+
+#[test]
+fn fault_injection_bitwise_reproducible() {
+    // The fault plane inherits the simulation's determinism end to
+    // end: the same seed and scenario must serialise to byte-identical
+    // run JSON (metrics + trace) and Perfetto span JSON.
+    use adios::desim::span::perfetto_json;
+    let mut p = params(5);
+    p.trace_capacity = Some(200_000);
+    p.spans = Some(adios::desim::SpanConfig::with_exemplars(95.0, 32));
+    p.faults = Some(FaultScenario::lossy());
+    let cfg = || SystemConfig {
+        memnode_replicas: 2,
+        ..SystemConfig::adios()
+    };
+    let mut w1 = ArrayIndexWorkload::new(16_384);
+    let mut w2 = ArrayIndexWorkload::new(16_384);
+    let a = run_one(cfg(), &mut w1, p.clone());
+    let b = run_one(cfg(), &mut w2, p.clone());
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    assert_eq!(
+        a.metrics.counter("fetch_retransmits"),
+        b.metrics.counter("fetch_retransmits"),
+        "retransmission schedule must be reproducible"
+    );
+    assert_eq!(
+        a.metrics.counter("faults.injected_losses"),
+        b.metrics.counter("faults.injected_losses"),
+        "fault injection must be reproducible"
+    );
+    assert_eq!(
+        adios::core_api::run_json(&a),
+        adios::core_api::run_json(&b),
+        "equal seed + scenario must serialise identically"
+    );
+    assert_eq!(
+        perfetto_json(&a.spans.as_ref().unwrap().exemplars),
+        perfetto_json(&b.spans.as_ref().unwrap().exemplars),
+        "equal seed + scenario must serialise identical Perfetto JSON"
+    );
+
+    // A different scenario over the same seed must not collide.
+    let mut w3 = ArrayIndexWorkload::new(16_384);
+    let mut p2 = p.clone();
+    p2.faults = Some(FaultScenario::stall());
+    let c = run_one(cfg(), &mut w3, p2);
+    assert_ne!(
+        adios::core_api::run_json(&a),
+        adios::core_api::run_json(&c),
+        "different scenarios must not collide"
     );
 }
 

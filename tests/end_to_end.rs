@@ -16,6 +16,7 @@ fn params(rps: f64) -> RunParams {
         timeline_bucket: None,
         trace_capacity: None,
         spans: None,
+        faults: None,
     }
 }
 

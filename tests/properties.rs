@@ -233,6 +233,119 @@ fn critical_path_components_sum_to_e2e() {
     }
 }
 
+/// Retransmission conserves every request: under randomized non-fatal
+/// fault scenarios (packet loss, corruption, link flaps, memnode
+/// stalls) nothing is ever lost — the RC transport retries until
+/// delivery — and the error-CQE bookkeeping partitions exactly into
+/// failovers plus chain failures.
+#[test]
+fn conservation_under_faults() {
+    let scenarios: &[fn() -> FaultScenario] = &[
+        FaultScenario::lossy,
+        FaultScenario::flaky,
+        FaultScenario::stall,
+    ];
+    let mut gen = Rng::new(0xFA17);
+    for case in 0..6 {
+        let kind = SystemKind::all()[case % 4];
+        let scenario = scenarios[case % scenarios.len()]();
+        let rps = 200_000.0 + gen.gen_f64() * 600_000.0;
+        let seed = gen.gen_range(1_000);
+        let mut wl = ArrayIndexWorkload::new(8_192);
+        let r = run_one(
+            SystemConfig::for_kind(kind),
+            &mut wl,
+            RunParams {
+                offered_rps: rps,
+                seed,
+                warmup: SimDuration::from_millis(2),
+                measure: SimDuration::from_millis(8),
+                local_mem_fraction: 0.2,
+                faults: Some(scenario.clone()),
+                ..Default::default()
+            },
+        );
+        let ctx = format!(
+            "{} scenario={} rps={rps:.0} seed={seed}",
+            kind.name(),
+            scenario.name
+        );
+        let c = |n: &str| r.metrics.counter(n).unwrap_or(0);
+        // These scenarios inject no fatal errors, so no request may be
+        // dropped or aborted: loss is absorbed by retransmission.
+        assert_eq!(r.recorder.dropped(), 0, "{ctx}");
+        assert_eq!(c("fetch_aborts"), 0, "{ctx}");
+        assert_eq!(
+            c("fetch_cqe_errors"),
+            c("fetch_failovers") + c("fetch_chain_failures"),
+            "{ctx}"
+        );
+        assert!(r.recorder.completed_in_window() > 500, "{ctx}");
+        let h = r.recorder.overall();
+        assert!(h.percentile(50.0) <= h.percentile(99.0), "{ctx}");
+        assert!(h.percentile(99.0) <= h.percentile(99.9), "{ctx}");
+    }
+}
+
+/// Fatal faults stay conserved too: with a replica memnode a crash
+/// fails over without terminally failing a single fetch; without one,
+/// every exhausted retry chain surfaces as an explicit abort and drop —
+/// nothing vanishes silently.
+#[test]
+fn crash_faults_account_for_every_request() {
+    let run_crash = |replicas: usize| {
+        let mut wl = ArrayIndexWorkload::new(8_192);
+        run_one(
+            SystemConfig {
+                memnode_replicas: replicas,
+                ..SystemConfig::adios()
+            },
+            &mut wl,
+            RunParams {
+                offered_rps: 150_000.0,
+                seed: 21,
+                warmup: SimDuration::from_millis(3),
+                // The outage spans t = 10..60 ms; keep a chunk of it
+                // inside the measurement window.
+                measure: SimDuration::from_millis(27),
+                local_mem_fraction: 0.2,
+                faults: Some(FaultScenario::crash()),
+                ..Default::default()
+            },
+        )
+    };
+
+    let with_replica = run_crash(2);
+    let c = |r: &RunResult, n: &str| r.metrics.counter(n).unwrap_or(0);
+    assert!(
+        c(&with_replica, "fetch_failovers") > 0,
+        "outage must trigger failovers"
+    );
+    assert_eq!(
+        c(&with_replica, "fetch_aborts"),
+        0,
+        "with a replica no fetch fails terminally"
+    );
+    assert_eq!(
+        c(&with_replica, "fetch_cqe_errors"),
+        c(&with_replica, "fetch_failovers") + c(&with_replica, "fetch_chain_failures"),
+    );
+
+    let without_replica = run_crash(1);
+    assert!(
+        c(&without_replica, "fetch_chain_failures") > 0,
+        "without a replica retry chains must exhaust"
+    );
+    assert!(
+        without_replica.recorder.dropped() > 0,
+        "failed chains surface as explicit drops"
+    );
+    assert_eq!(
+        c(&without_replica, "fetch_cqe_errors"),
+        c(&without_replica, "fetch_failovers") + c(&without_replica, "fetch_chain_failures"),
+    );
+}
+
 /// Workload traces from the applications always replay to completion
 /// (no stuck requests) at a light load.
 #[test]
