@@ -40,6 +40,8 @@ flags:
   --faults <name>    inject a named fault scenario into the smoke runs
                      (none, lossy, flaky, stall, crash) and print the
                      fault-plane / retransmission counters
+  --shards N         shard the page space across N memnodes in the
+                     smoke runs and print the per-shard counters
   --seed N           RNG seed for the smoke runs (unsigned integer,
                      default 1)
   --out-dir <dir>    output directory (default: results)";
@@ -51,13 +53,18 @@ struct Cli {
     spans: bool,
     perfetto: Option<PathBuf>,
     faults: Option<FaultScenario>,
+    shards: Option<usize>,
     seed: Option<u64>,
     out_dir: PathBuf,
 }
 
 impl Cli {
     fn smoke(&self) -> bool {
-        self.trace || self.spans || self.perfetto.is_some() || self.faults.is_some()
+        self.trace
+            || self.spans
+            || self.perfetto.is_some()
+            || self.faults.is_some()
+            || self.shards.is_some()
     }
 }
 
@@ -73,6 +80,7 @@ fn parse_args(args: &[String]) -> Cli {
         spans: false,
         perfetto: None,
         faults: None,
+        shards: None,
         seed: None,
         out_dir: PathBuf::from("results"),
     };
@@ -113,6 +121,21 @@ fn parse_args(args: &[String]) -> Cli {
                         FaultScenario::names().join(", ")
                     ))
                 }));
+            }
+            "--shards" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("--shards requires a value"));
+                let n: usize = v
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("invalid --shards value: {v}")));
+                if n == 0 || n > desim::trace::shard_names::MAX_SHARDS {
+                    die(&format!(
+                        "--shards must be between 1 and {}",
+                        desim::trace::shard_names::MAX_SHARDS
+                    ));
+                }
+                cli.shards = Some(n);
             }
             "--seed" => {
                 let v = it.next().unwrap_or_else(|| die("--seed requires a value"));
@@ -160,8 +183,29 @@ fn smoke_mode(cli: &Cli) {
             // instead of aborting every chain.
             cfg.memnode_replicas = 2;
         }
+        if let Some(n) = cli.shards {
+            cfg.memnode_shards = n;
+        }
         let res = run_one(cfg, &mut workload, params);
         let system = format!("{kind:?}").to_lowercase();
+
+        if let Some(n) = cli.shards.filter(|&n| n > 1) {
+            use desim::trace::shard_names as sn;
+            let c = |name: &str| res.metrics.counter(name).unwrap_or(0);
+            println!("==== {kind:?}: page space over {n} memnode shards ====");
+            for s in 0..n {
+                println!(
+                    "    shard {s}: {} fetches, {} retransmits, {} error cqes, \
+                     {} failovers, {} chain failures",
+                    c(sn::FETCHES[s]),
+                    c(sn::RETRANSMITS[s]),
+                    c(sn::CQE_ERRORS[s]),
+                    c(sn::FAILOVERS[s]),
+                    c(sn::CHAIN_FAILURES[s])
+                );
+            }
+            println!();
+        }
 
         if let Some(scenario) = &cli.faults {
             let c = |name: &str| res.metrics.counter(name).unwrap_or(0);

@@ -20,7 +20,11 @@
 //!   study injects packet loss, memnode stalls and a memnode crash to
 //!   show busy-waiting additionally *amplifies* fault recovery time
 //!   (the worker burns every retransmission timeout on-core), while
-//!   yielding absorbs it.
+//!   yielding absorbs it;
+//! - **shard_scaling** — §2.1's one-compute/one-memory testbed is the
+//!   degenerate case of a sharded page space; spreading pages over
+//!   independent memnode rails multiplies aggregate fetch bandwidth,
+//!   and a crash of one shard's primary stays contained to that shard.
 
 use desim::SimDuration;
 use runtime::sim::{RunParams, Simulation};
@@ -927,6 +931,172 @@ pub fn fault_tolerance(scale: Scale) -> FigureReport {
     report
 }
 
+/// Memnode sharding: aggregate fetch bandwidth vs shard count, and
+/// blast-radius containment when one shard's primary crashes.
+///
+/// Each shard owns its own memnode chain, QP set and NIC rail, so the
+/// data links multiply with the shard count. The sweep narrows each
+/// rail to an eighth of the default 100 Gbps so a single shard
+/// saturates well below the offered load — sharding then recovers the
+/// lost throughput rail by rail.
+pub fn shard_scaling(scale: Scale) -> FigureReport {
+    let mut report = FigureReport::new(
+        "Extension D",
+        "Memnode sharding: bandwidth scaling and failure containment",
+    );
+    let mut wl = ArrayIndexWorkload::new(scale.microbench_pages());
+
+    // -- shard-count sweep at fixed offered load ------------------------
+    // One narrow rail serves ~0.85 MRPS and two ~1.7 MRPS, so at this
+    // load both stay saturated and only four shards clear the offer.
+    let load = 2_400_000.0;
+    let narrow = fabric::FabricParams {
+        link_bandwidth_bps: 12_500_000_000,
+        ..fabric::FabricParams::default()
+    };
+    let mut s = Series::new(
+        format!("{:.1} MRPS offered, 12.5 Gbps per shard rail", load / 1e6),
+        "  shards    achieved   agg fetch GB   mean rail util",
+    );
+    let mut achieved = Vec::new();
+    let mut agg_bytes = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let cfg = SystemConfig {
+            memnode_shards: shards,
+            fabric: narrow.clone(),
+            ..SystemConfig::adios()
+        };
+        let params = RunParams {
+            offered_rps: load,
+            seed: 160,
+            warmup: scale.warmup(),
+            measure: scale.measure(),
+            local_mem_fraction: 0.2,
+            keep_breakdowns: false,
+            burst: None,
+            timeline_bucket: None,
+            trace_capacity: None,
+            spans: None,
+            faults: None,
+        };
+        let r = Simulation::new(cfg, &mut wl, params).run();
+        let bytes: u64 = r.shards.iter().map(|w| w.data_bytes).sum();
+        achieved.push(r.recorder.achieved_rps());
+        agg_bytes.push(bytes);
+        s.rows.push(format!(
+            "{:>8} {:>11.0} {:>14.2} {:>16.3}",
+            shards,
+            r.recorder.achieved_rps(),
+            bytes as f64 / 1e9,
+            r.rdma_data_util,
+        ));
+    }
+    report.series.push(s);
+    report.expectations.push(Expectation::checked(
+        "aggregate fetch bandwidth grows monotonically with shards",
+        "each shard brings its own memnode, QP set and NIC rail",
+        format!(
+            "{:.2} / {:.2} / {:.2} GB over 1 / 2 / 4 shards",
+            agg_bytes[0] as f64 / 1e9,
+            agg_bytes[1] as f64 / 1e9,
+            agg_bytes[2] as f64 / 1e9
+        ),
+        agg_bytes[1] > agg_bytes[0] && agg_bytes[2] > agg_bytes[1],
+    ));
+    report.expectations.push(Expectation::checked(
+        "achieved throughput scales out of a single saturated rail",
+        "a 12.5 Gbps rail caps one shard well below the offered load",
+        format!(
+            "{:.2} → {:.2} → {:.2} MRPS",
+            achieved[0] / 1e6,
+            achieved[1] / 1e6,
+            achieved[2] / 1e6
+        ),
+        achieved[1] > achieved[0] && achieved[2] > achieved[1],
+    ));
+
+    // -- crash containment: one shard's primary dies --------------------
+    use desim::trace::shard_names as sn;
+    let crash_cfg = SystemConfig {
+        memnode_shards: 4,
+        memnode_replicas: 2,
+        ..SystemConfig::adios()
+    };
+    // Load picked so the outage shard's 1.26 ms-per-fault RTO ladders
+    // stay within the worker QPs' slack: the shard re-maps with zero
+    // drops. (At several hundred KRPS a full-window outage saturates
+    // the blocked-fetch backlog and sheds load — sharded or not; the
+    // pre-sharding single-chain layout collapses *harder* there.)
+    let mk_params = |faults| RunParams {
+        offered_rps: 100_000.0,
+        seed: 161,
+        warmup: scale.warmup(),
+        measure: scale.measure(),
+        local_mem_fraction: 0.2,
+        keep_breakdowns: false,
+        burst: None,
+        timeline_bucket: None,
+        trace_capacity: None,
+        spans: None,
+        faults,
+    };
+    let base = Simulation::new(crash_cfg.clone(), &mut wl, mk_params(None)).run();
+    let crash = Simulation::new(
+        crash_cfg,
+        &mut wl,
+        mk_params(Some(faults::FaultScenario::crash_node(0))),
+    )
+    .run();
+    let c = |name| crash.metrics.counter(name).unwrap_or(0);
+    let mut s = Series::new(
+        "shard-0 primary down for the whole window (4 shards, 2 replicas, 0.1 MRPS)",
+        "  shard   fetches  failovers   fetch p999(us)   baseline p999(us)",
+    );
+    for sh in 0..4usize {
+        s.rows.push(format!(
+            "{:>7} {:>9} {:>10} {:>16.2} {:>19.2}",
+            sh,
+            c(sn::FETCHES[sh]),
+            c(sn::FAILOVERS[sh]),
+            crash.shards[sh].fetch_ns.percentile(99.9) as f64 / 1e3,
+            base.shards[sh].fetch_ns.percentile(99.9) as f64 / 1e3,
+        ));
+    }
+    report.series.push(s);
+    report.expectations.push(Expectation::checked(
+        "the dead primary's shard fails over with zero lost requests",
+        "pages re-map onto the shard's replica chain",
+        format!(
+            "{} failovers on shard 0, {} drops",
+            c(sn::FAILOVERS[0]),
+            crash.recorder.dropped()
+        ),
+        c(sn::FAILOVERS[0]) > 0 && crash.recorder.dropped() == 0,
+    ));
+    let spared = (1..4usize).all(|sh| c(sn::CQE_ERRORS[sh]) == 0);
+    let contained = (1..4usize).all(|sh| {
+        let b = base.shards[sh].fetch_ns.percentile(99.9);
+        let f = crash.shards[sh].fetch_ns.percentile(99.9);
+        f <= b + b / 4
+    });
+    report.expectations.push(Expectation::checked(
+        "other shards never see an error and keep their fetch tail",
+        "shards share no chain, QP or rail with the dead node",
+        format!("shards 1–3: 0 errors, fetch p999 within 25 % of baseline = {contained}"),
+        spared && contained,
+    ));
+    report.expectations.push(Expectation::info(
+        "failover cost is the RC retry ladder",
+        "first attempt burns ~1.26 ms of RTO before the error CQE",
+        format!(
+            "shard 0 fetch p999 {} vs {} without the outage",
+            fmt_us(crash.shards[0].fetch_ns.percentile(99.9)),
+            fmt_us(base.shards[0].fetch_ns.percentile(99.9))
+        ),
+    ));
+    report
+}
+
 /// Runs all extension studies.
 pub fn run(scale: Scale) -> Vec<FigureReport> {
     vec![
@@ -940,6 +1110,7 @@ pub fn run(scale: Scale) -> Vec<FigureReport> {
         networking(scale),
         faiss_nprobe(scale),
         fault_tolerance(scale),
+        shard_scaling(scale),
     ]
 }
 
@@ -950,6 +1121,12 @@ mod tests {
     #[test]
     fn fault_tolerance_shape() {
         let r = fault_tolerance(Scale::Quick);
+        assert!(r.all_ok(), "{}", r.render());
+    }
+
+    #[test]
+    fn shard_scaling_shape() {
+        let r = shard_scaling(Scale::Quick);
         assert!(r.all_ok(), "{}", r.render());
     }
 

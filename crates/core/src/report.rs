@@ -41,6 +41,27 @@ pub fn run_json(res: &RunResult) -> String {
         "\"cache\":{{\"hits\":{},\"misses\":{},\"coalesced\":{},\"evictions\":{},\"dirty_evictions\":{}}},",
         c.hits, c.misses, c.coalesced, c.evictions, c.dirty_evictions
     );
+    // Per-shard window view, only on multi-shard runs: single-shard
+    // output stays byte-identical to the pre-sharding format.
+    if res.shards.len() > 1 {
+        out.push_str("\"shards\":[");
+        for (i, s) in res.shards.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"shard\":{},\"data_bytes\":{},\"data_util\":{:.6},\"fetch_ns\":{{\"p50\":{},\"p999\":{},\"count\":{}}}}}",
+                s.shard,
+                s.data_bytes,
+                s.data_util,
+                s.fetch_ns.percentile(50.0),
+                s.fetch_ns.percentile(99.9),
+                s.fetch_ns.count()
+            );
+        }
+        out.push_str("],");
+    }
     let _ = write!(out, "\"metrics\":{},", res.metrics.to_json());
     match &res.spans {
         Some(report) => {

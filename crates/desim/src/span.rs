@@ -77,7 +77,10 @@ pub mod node {
     pub const SEGMENT: &str = "segment";
     /// One page fault, entry→resume (or retry chain).
     pub const FAULT: &str = "fault";
-    /// One RDMA read, post→completion.
+    /// One RDMA read, post→completion. `b` is a [`super::shard_qp`]
+    /// payload: the QP in the low word and the memnode shard the fetch
+    /// routed to in the high word (zero on single-shard runs, which
+    /// keeps their span JSON identical to pre-sharding output).
     pub const FETCH: &str = "fetch";
     /// Fetch sub-span: doorbell→NIC engine dispatch.
     pub const NIC_QUEUE: &str = "nic_queue";
@@ -89,8 +92,19 @@ pub mod node {
     /// the transport retransmitted.
     pub const RETRANS: &str = "retrans";
     /// Instant marker: the runtime re-issued a failed fetch on the
-    /// failover QP (`a` = replica the retry targets, `b` = attempt).
+    /// failover QP (`a` = global memnode id the retry targets — equal
+    /// to the replica index on single-shard runs — `b` = attempt).
     pub const FAILOVER: &str = "failover";
+}
+
+/// Packs a fetch span's `b` payload: the QP id in the low 32 bits and
+/// the memnode shard in the high 32. Shard 0 leaves the payload equal
+/// to the bare QP id, so single-shard runs serialise exactly as before
+/// sharding existed.
+#[inline]
+pub fn shard_qp(shard: u64, qp: u64) -> u64 {
+    debug_assert!(qp < (1 << 32), "QP id overflows the payload low word");
+    (shard << 32) | qp
 }
 
 /// One node in a request's span tree.

@@ -363,6 +363,95 @@ impl MetricsSnapshot {
     }
 }
 
+/// Static per-shard metric names.
+///
+/// [`Metrics::counter`] and [`Metrics::gauge`] take `&'static str`, so
+/// per-shard names cannot be formatted at run time; this table holds
+/// them for up to [`shard_names::MAX_SHARDS`] shards. The schema is the
+/// sharded simulation's contract with external consumers (CI smoke
+/// checks parse these names out of the run JSON): per shard `N`, the
+/// counters `shardN.fetches`, `shardN.fetch_retransmits`,
+/// `shardN.fetch_cqe_errors`, `shardN.fetch_failovers` and
+/// `shardN.fetch_chain_failures`, plus the `shardN.qp_outstanding`
+/// gauge. Single-shard runs register none of them, keeping their
+/// metrics JSON bit-identical to pre-sharding output.
+pub mod shard_names {
+    /// Highest shard count the static name tables cover.
+    pub const MAX_SHARDS: usize = 8;
+
+    /// READ posts (demand attempts + prefetches) routed to the shard.
+    pub const FETCHES: [&str; MAX_SHARDS] = [
+        "shard0.fetches",
+        "shard1.fetches",
+        "shard2.fetches",
+        "shard3.fetches",
+        "shard4.fetches",
+        "shard5.fetches",
+        "shard6.fetches",
+        "shard7.fetches",
+    ];
+
+    /// RC retransmissions burned by the shard's fetches.
+    pub const RETRANSMITS: [&str; MAX_SHARDS] = [
+        "shard0.fetch_retransmits",
+        "shard1.fetch_retransmits",
+        "shard2.fetch_retransmits",
+        "shard3.fetch_retransmits",
+        "shard4.fetch_retransmits",
+        "shard5.fetch_retransmits",
+        "shard6.fetch_retransmits",
+        "shard7.fetch_retransmits",
+    ];
+
+    /// Error CQEs surfaced by the shard's demand-fetch chains.
+    pub const CQE_ERRORS: [&str; MAX_SHARDS] = [
+        "shard0.fetch_cqe_errors",
+        "shard1.fetch_cqe_errors",
+        "shard2.fetch_cqe_errors",
+        "shard3.fetch_cqe_errors",
+        "shard4.fetch_cqe_errors",
+        "shard5.fetch_cqe_errors",
+        "shard6.fetch_cqe_errors",
+        "shard7.fetch_cqe_errors",
+    ];
+
+    /// Fetches re-mapped onto the next replica of the shard's chain.
+    pub const FAILOVERS: [&str; MAX_SHARDS] = [
+        "shard0.fetch_failovers",
+        "shard1.fetch_failovers",
+        "shard2.fetch_failovers",
+        "shard3.fetch_failovers",
+        "shard4.fetch_failovers",
+        "shard5.fetch_failovers",
+        "shard6.fetch_failovers",
+        "shard7.fetch_failovers",
+    ];
+
+    /// Chains that exhausted the shard's replicas or attempt budget.
+    pub const CHAIN_FAILURES: [&str; MAX_SHARDS] = [
+        "shard0.fetch_chain_failures",
+        "shard1.fetch_chain_failures",
+        "shard2.fetch_chain_failures",
+        "shard3.fetch_chain_failures",
+        "shard4.fetch_chain_failures",
+        "shard5.fetch_chain_failures",
+        "shard6.fetch_chain_failures",
+        "shard7.fetch_chain_failures",
+    ];
+
+    /// Outstanding work requests on the shard's NIC rail.
+    pub const QP_OUTSTANDING: [&str; MAX_SHARDS] = [
+        "shard0.qp_outstanding",
+        "shard1.qp_outstanding",
+        "shard2.qp_outstanding",
+        "shard3.qp_outstanding",
+        "shard4.qp_outstanding",
+        "shard5.qp_outstanding",
+        "shard6.qp_outstanding",
+        "shard7.qp_outstanding",
+    ];
+}
+
 /// Renders a slice of trace events as a deterministic JSON array.
 pub fn trace_to_json(events: &[TraceEvent]) -> String {
     let mut out = String::from("[");

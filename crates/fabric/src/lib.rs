@@ -19,6 +19,9 @@
 //!   end-to-end latency exactly as the paper does, from NIC timestamps).
 //! - [`MemNode`] — the passive one-sided memory node, with address-range
 //!   validation and service statistics.
+//! - [`ShardMap`] — deterministic page → shard → memnode placement
+//!   (hash or range partition) with per-shard replica chains, so the
+//!   page space can span several memory nodes.
 //!
 //! All components are *passive*: they never own an event loop. Posting a
 //! work request returns the simulated completion time analytically (every
@@ -30,9 +33,11 @@ pub mod link;
 pub mod memnode;
 pub mod nic;
 pub mod params;
+pub mod shard;
 
 pub use eth::{EthPort, RxRing};
 pub use link::Link;
 pub use memnode::MemNode;
 pub use nic::{Completion, CompletionStatus, CqId, OccupancySnapshot, PostError, QpId, RdmaNic};
 pub use params::FabricParams;
+pub use shard::{ShardMap, ShardPolicy};

@@ -202,6 +202,26 @@ impl FaultScenario {
         }
     }
 
+    /// Crash of a specific memnode: `node` goes dark from t = 10 ms to
+    /// t = 60 ms with no steady-state noise. Under a sharded layout
+    /// this downs exactly one shard's chain member, so failovers (and
+    /// nothing else) concentrate on that shard — the isolation property
+    /// the shard-scaling experiment checks. `crash_node(0)` is
+    /// [`FaultScenario::crash`] minus its steady CQE-error trickle.
+    pub fn crash_node(node: u32) -> FaultScenario {
+        FaultScenario {
+            name: "crash-node",
+            loss: 0.0,
+            corrupt: 0.0,
+            cqe_error: 0.0,
+            episodes: vec![Episode {
+                start: SimTime(10_000_000),
+                end: SimTime(60_000_000),
+                kind: EpisodeKind::NodeDown { node },
+            }],
+        }
+    }
+
     /// Looks a scenario up by its stable name.
     pub fn by_name(name: &str) -> Option<FaultScenario> {
         match name {
@@ -462,6 +482,22 @@ mod tests {
         assert_eq!(outside, LinkPenalty::NONE);
         assert!(p.episode_active(SimTime(5_500_000)));
         assert!(!p.episode_active(SimTime(1_000_000)));
+    }
+
+    #[test]
+    fn crash_node_downs_exactly_that_node() {
+        let p = FaultPlane::new(FaultScenario::crash_node(3), 7);
+        let mid = SimTime(30_000_000);
+        assert_eq!(p.node_health(3, mid), NodeHealth::Down);
+        for other in [0, 1, 2, 4] {
+            assert_eq!(p.node_health(other, mid), NodeHealth::Up, "node {other}");
+        }
+        // Same window as `crash`, but none of its steady CQE-error
+        // trickle: errors can only come from the targeted node.
+        assert_eq!(p.node_health(3, SimTime(9_999_999)), NodeHealth::Up);
+        assert_eq!(p.node_health(3, SimTime(60_000_000)), NodeHealth::Up);
+        assert_eq!(FaultScenario::crash_node(0).cqe_error, 0.0);
+        assert!(!FaultScenario::crash_node(0).is_inert());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! constants.
 
 use desim::SimDuration;
-use fabric::FabricParams;
+use fabric::{FabricParams, ShardPolicy};
 use paging::reclaim::{ReclaimerMode, Watermarks};
 use paging::EvictionPolicy;
 
@@ -213,9 +213,18 @@ pub struct SystemConfig {
     pub direct_reclaim_cost: SimDuration,
     /// Central pending-queue capacity (arrivals beyond it are dropped).
     pub pending_cap: usize,
-    /// Memory-node replicas available to the paging layer. Replica 0
-    /// is the primary every fetch targets first; under an armed fault
-    /// plane, a fetch whose CQE errors fails over to the next replica.
+    /// Memory-node shards the remote page space is partitioned over.
+    /// Each shard gets its own memnode chain, NIC rail and QP set; a
+    /// fetch routes to its page's shard. One shard reproduces the
+    /// pre-sharding single-primary layout bit-for-bit.
+    pub memnode_shards: usize,
+    /// How pages are placed onto shards (hash by default; range keeps
+    /// sequential streams on one shard).
+    pub shard_policy: ShardPolicy,
+    /// Memory-node replicas per shard. Replica 0 is the shard's primary
+    /// every fetch targets first; under an armed fault plane, a fetch
+    /// whose CQE errors fails over to the next replica in the shard's
+    /// chain.
     pub memnode_replicas: usize,
     /// Total issue attempts per demand fetch (the original plus
     /// failovers) before the runtime gives up and aborts the request.
@@ -261,6 +270,8 @@ impl SystemConfig {
             reclaim_wake_delay: SimDuration::from_micros(5),
             direct_reclaim_cost: SimDuration::from_nanos(600),
             pending_cap: 4096,
+            memnode_shards: 1,
+            shard_policy: ShardPolicy::Hash,
             memnode_replicas: 1,
             max_fetch_attempts: 3,
             fabric: FabricParams::default(),
@@ -348,6 +359,34 @@ impl SystemConfig {
             SystemKind::Adios => SystemConfig::adios(),
         }
     }
+
+    /// Memory-node replicas per shard, clamped to at least one — a
+    /// chain always has its primary. Every consumer of
+    /// [`SystemConfig::memnode_replicas`] must go through this accessor
+    /// so the clamp lives in exactly one place.
+    pub fn replicas(&self) -> usize {
+        self.memnode_replicas.max(1)
+    }
+
+    /// Validated memory-node shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `memnode_shards` is zero (a page space with no home)
+    /// or exceeds [`desim::trace::shard_names::MAX_SHARDS`] (the
+    /// per-shard counter schema is a static name table).
+    pub fn shards(&self) -> usize {
+        assert!(
+            self.memnode_shards >= 1,
+            "memnode_shards must be at least 1"
+        );
+        assert!(
+            self.memnode_shards <= desim::trace::shard_names::MAX_SHARDS,
+            "memnode_shards must not exceed {}",
+            desim::trace::shard_names::MAX_SHARDS
+        );
+        self.memnode_shards
+    }
 }
 
 #[cfg(test)]
@@ -389,6 +428,42 @@ mod tests {
         for kind in SystemKind::all() {
             assert_eq!(SystemConfig::for_kind(kind).kind, kind);
         }
+    }
+
+    #[test]
+    fn shard_and_replica_accessors_validate() {
+        let cfg = SystemConfig::adios();
+        assert_eq!(cfg.shards(), 1, "presets default to the unsharded layout");
+        assert_eq!(cfg.replicas(), 1);
+
+        let sharded = SystemConfig {
+            memnode_shards: 4,
+            memnode_replicas: 0, // clamped, not rejected: chains keep a primary
+            ..SystemConfig::adios()
+        };
+        assert_eq!(sharded.shards(), 4);
+        assert_eq!(sharded.replicas(), 1);
+        assert_eq!(sharded.shard_policy, ShardPolicy::Hash);
+    }
+
+    #[test]
+    #[should_panic(expected = "memnode_shards must be at least 1")]
+    fn zero_shards_rejected() {
+        let cfg = SystemConfig {
+            memnode_shards: 0,
+            ..SystemConfig::adios()
+        };
+        let _ = cfg.shards();
+    }
+
+    #[test]
+    #[should_panic(expected = "memnode_shards must not exceed")]
+    fn oversized_shard_count_rejected() {
+        let cfg = SystemConfig {
+            memnode_shards: desim::trace::shard_names::MAX_SHARDS + 1,
+            ..SystemConfig::adios()
+        };
+        let _ = cfg.shards();
     }
 
     #[test]

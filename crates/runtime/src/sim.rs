@@ -25,7 +25,7 @@ use desim::{
 };
 use fabric::link::Link;
 use fabric::nic::Verb;
-use fabric::{EthPort, FabricParams, MemNode, QpId, RdmaNic};
+use fabric::{EthPort, FabricParams, MemNode, QpId, RdmaNic, ShardMap};
 use faults::{FaultPlane, FaultScenario, FaultStats};
 use loadgen::{Breakdown, BurstyLoop, LoadPoint, OpenLoop, Recorder};
 use paging::prefetch::{LeapDetector, SeqDetector};
@@ -210,6 +210,47 @@ impl MetricIds {
     }
 }
 
+/// Per-shard counter/gauge handles (see
+/// [`desim::trace::shard_names`]). Registered only on multi-shard runs:
+/// a single shard must serialise the exact pre-sharding metrics schema.
+struct ShardMetricIds {
+    fetches: CounterId,
+    retransmits: CounterId,
+    cqe_errors: CounterId,
+    failovers: CounterId,
+    chain_failures: CounterId,
+    qp_outstanding: GaugeId,
+}
+
+impl ShardMetricIds {
+    fn register(m: &mut Metrics, shard: usize) -> ShardMetricIds {
+        use desim::trace::shard_names as sn;
+        ShardMetricIds {
+            fetches: m.counter(sn::FETCHES[shard]),
+            retransmits: m.counter(sn::RETRANSMITS[shard]),
+            cqe_errors: m.counter(sn::CQE_ERRORS[shard]),
+            failovers: m.counter(sn::FAILOVERS[shard]),
+            chain_failures: m.counter(sn::CHAIN_FAILURES[shard]),
+            qp_outstanding: m.gauge(sn::QP_OUTSTANDING[shard]),
+        }
+    }
+}
+
+/// One memnode shard's measurement-window accounting.
+#[derive(Debug, Clone)]
+pub struct ShardWindow {
+    /// Shard index.
+    pub shard: usize,
+    /// Bytes moved on the shard's RDMA data direction (memnode →
+    /// compute) over the window.
+    pub data_bytes: u64,
+    /// Utilisation of the shard's data direction.
+    pub data_util: f64,
+    /// Demand-fetch latency (post → terminal clean CQE) of fetches
+    /// completing inside the window.
+    pub fetch_ns: desim::Histogram,
+}
+
 /// Result of one run.
 pub struct RunResult {
     /// Latency recorder (per-class histograms, breakdowns, drops).
@@ -244,6 +285,9 @@ pub struct RunResult {
     /// attributions and tail exemplars (present when spans were on —
     /// see [`RunParams::spans`]).
     pub spans: Option<SpanReport>,
+    /// Per-shard window accounting, one entry per configured memnode
+    /// shard (a single entry on unsharded runs).
+    pub shards: Vec<ShardWindow>,
 }
 
 impl RunResult {
@@ -297,14 +341,15 @@ enum Ev {
     /// A yielded request becomes runnable (after any kernel wake-up
     /// delay — nonzero only for Infiniswap).
     WaiterReady { req: usize },
-    /// A reclaimer write-back completed on its dedicated QP.
-    WriteDone,
+    /// A reclaimer write-back completed on its dedicated QP (one per
+    /// shard rail).
+    WriteDone { shard: usize },
     /// Reclaimer processes its next batch.
     ReclaimTick,
     /// An intermediate error CQE of a failover chain becomes pollable;
-    /// consuming it frees the QP slot (the chain continued on another
-    /// QP, so nothing resumes here).
-    CqeRetire { qp: QpId },
+    /// consuming it frees the QP slot on the shard's rail (the chain
+    /// continued on another QP, so nothing resumes here).
+    CqeRetire { shard: usize, qp: QpId },
 }
 
 /// Per-request prefetch-pattern detector.
@@ -419,9 +464,16 @@ pub struct Simulation<'w> {
     params: RunParams,
     events: EventQueue<Ev>,
     eth: EthPort,
-    nic: RdmaNic,
-    /// Memory-node replicas; demand fetches start at replica 0 and fail
-    /// over round-robin on error completions.
+    /// One NIC rail per memnode shard, each with the full per-worker /
+    /// writeback / failover QP layout. A fetch posts on its page's
+    /// shard rail, so shards queue and account independently.
+    nics: Vec<RdmaNic>,
+    /// Deterministic page → shard → memnode placement.
+    shard_map: ShardMap,
+    /// Memory nodes, indexed by global node id: shard `s`'s replica
+    /// chain occupies `s * replicas .. (s + 1) * replicas`. Demand
+    /// fetches start at the shard's primary and fail over round-robin
+    /// along the chain on error completions.
     mems: Vec<MemNode>,
     /// Deterministic fault injector consulted by every NIC post (the
     /// inert plane draws nothing and perturbs nothing).
@@ -441,16 +493,23 @@ pub struct Simulation<'w> {
     dispatcher_free: SimTime,
     admission_backlog: usize,
     inflight: HashMap<u64, Inflight>,
-    /// Dirty pages whose write-back is waiting for a reclaimer-QP slot.
-    deferred_writebacks: VecDeque<u64>,
+    /// Per-shard dirty pages whose write-back is waiting for that
+    /// shard's reclaimer-QP slot.
+    deferred_writebacks: Vec<VecDeque<u64>>,
     reclaim_state: ReclaimState,
     gen_end: SimTime,
     metrics: Metrics,
     ids: MetricIds,
+    /// Per-shard metric handles; empty on single-shard runs (schema
+    /// compatibility — see [`ShardMetricIds`]).
+    shard_ids: Vec<ShardMetricIds>,
+    /// Per-shard demand-fetch latency over the measurement window.
+    shard_fetch_ns: Vec<desim::Histogram>,
     tracer: Box<dyn Tracer>,
     span_store: Option<SpanStore>,
-    start_snap: Option<(fabric::link::LinkSnapshot, fabric::link::LinkSnapshot)>,
-    end_snap: Option<(fabric::link::LinkSnapshot, fabric::link::LinkSnapshot)>,
+    /// Per-shard (data, ctrl) link snapshots at the warm-up boundary.
+    start_snap: Option<Vec<(fabric::link::LinkSnapshot, fabric::link::LinkSnapshot)>>,
+    end_snap: Option<Vec<(fabric::link::LinkSnapshot, fabric::link::LinkSnapshot)>>,
     cache_start: Option<paging::cache::CacheStats>,
     cache_end: Option<paging::cache::CacheStats>,
     metrics_snap: Option<MetricsSnapshot>,
@@ -517,6 +576,19 @@ impl<'w> Simulation<'w> {
 
         let mut metrics = Metrics::new();
         let ids = MetricIds::register(&mut metrics);
+        let shards = cfg.shards();
+        let replicas = cfg.replicas();
+        // Per-shard names join the registry only when sharding is on:
+        // the single-shard schema must stay bit-identical to the
+        // pre-sharding output.
+        let shard_ids = if shards > 1 {
+            (0..shards)
+                .map(|s| ShardMetricIds::register(&mut metrics, s))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let shard_map = ShardMap::new(shards, replicas, total_pages, cfg.shard_policy);
 
         let plane = match params.faults.clone() {
             Some(s) => FaultPlane::new(s, params.seed ^ 0xFA17_1A7E_0000_0001),
@@ -526,13 +598,20 @@ impl<'w> Simulation<'w> {
         Simulation {
             events: EventQueue::new(),
             eth: EthPort::new(&fabric_params),
-            // One QP per worker, the reclaimer's write-back QP, and the
-            // failover QP used by fetch chains re-issued after an error
+            // One NIC rail per shard; each rail carries one QP per
+            // worker, the reclaimer's write-back QP, and the failover
+            // QP used by fetch chains re-issued after an error
             // completion.
-            nic: RdmaNic::new(fabric_params, cfg.workers as u32 + 2),
-            mems: (0..cfg.memnode_replicas.max(1))
+            nics: (0..shards)
+                .map(|_| RdmaNic::new(fabric_params.clone(), cfg.workers as u32 + 2))
+                .collect(),
+            // Every shard's chain exports the full page space
+            // (address-preserving, like the pre-sharding replicas), so
+            // re-mapping a page is purely a routing decision.
+            mems: (0..shards * replicas)
                 .map(|i| MemNode::new(total_pages, PAGE_SIZE as u32).with_id(i as u32))
                 .collect(),
+            shard_map,
             plane,
             plane_start: FaultStats::default(),
             cache,
@@ -555,11 +634,13 @@ impl<'w> Simulation<'w> {
             dispatcher_free: SimTime::ZERO,
             admission_backlog: 0,
             inflight: HashMap::new(),
-            deferred_writebacks: VecDeque::new(),
+            deferred_writebacks: vec![VecDeque::new(); shards],
             reclaim_state: ReclaimState::Idle,
             gen_end: measure_end,
             metrics,
             ids,
+            shard_ids,
+            shard_fetch_ns: vec![desim::Histogram::new(); shards],
             tracer: match params.trace_capacity {
                 Some(cap) => Box::new(RingTracer::new(cap)),
                 None => Box::new(NoopTracer),
@@ -602,19 +683,13 @@ impl<'w> Simulation<'w> {
                 // Warm-up → measure boundary: every counter, gauge and
                 // cache statistic re-bases here so rates cover only the
                 // measurement window.
-                self.start_snap = Some((
-                    self.nic.data_link().snapshot(),
-                    self.nic.ctrl_link().snapshot(),
-                ));
+                self.start_snap = Some(Self::link_snapshots(&self.nics));
                 self.cache_start = Some(self.cache.stats());
                 self.metrics.reset(now);
                 self.plane_start = self.plane.stats();
             }
             if self.end_snap.is_none() && now >= self.measure_end {
-                self.end_snap = Some((
-                    self.nic.data_link().snapshot(),
-                    self.nic.ctrl_link().snapshot(),
-                ));
+                self.end_snap = Some(Self::link_snapshots(&self.nics));
                 self.cache_end = Some(self.cache.stats());
                 self.finalize_window(now);
             }
@@ -627,20 +702,41 @@ impl<'w> Simulation<'w> {
         // Light-load runs can drain the event queue before reaching the
         // boundaries; fall back to the final counters.
         if self.end_snap.is_none() {
-            self.end_snap = Some((
-                self.nic.data_link().snapshot(),
-                self.nic.ctrl_link().snapshot(),
-            ));
+            self.end_snap = Some(Self::link_snapshots(&self.nics));
             self.cache_end = Some(self.cache.stats());
             self.finalize_window(self.last_now);
         }
         let window = self.params.measure;
-        let (data_util, ctrl_util) = match (self.start_snap, self.end_snap) {
-            (Some((d0, c0)), Some((d1, c1))) => (
-                Link::utilization(&d0, &d1, window),
-                Link::utilization(&c0, &c1, window),
-            ),
-            _ => (0.0, 0.0),
+        // Utilisation is the mean across shard rails (equal to the
+        // single rail's utilisation on unsharded runs); the per-shard
+        // view keeps each rail's own numbers.
+        let (data_util, ctrl_util, shard_windows) = match (&self.start_snap, &self.end_snap) {
+            (Some(s0), Some(s1)) => {
+                let n = s0.len() as f64;
+                let data: f64 = s0
+                    .iter()
+                    .zip(s1)
+                    .map(|((d0, _), (d1, _))| Link::utilization(d0, d1, window))
+                    .sum();
+                let ctrl: f64 = s0
+                    .iter()
+                    .zip(s1)
+                    .map(|((_, c0), (_, c1))| Link::utilization(c0, c1, window))
+                    .sum();
+                let windows = s0
+                    .iter()
+                    .zip(s1)
+                    .enumerate()
+                    .map(|(s, ((d0, _), (d1, _)))| ShardWindow {
+                        shard: s,
+                        data_bytes: d1.bytes - d0.bytes,
+                        data_util: Link::utilization(d0, d1, window),
+                        fetch_ns: std::mem::take(&mut self.shard_fetch_ns[s]),
+                    })
+                    .collect();
+                (data / n, ctrl / n, windows)
+            }
+            _ => (0.0, 0.0, Vec::new()),
         };
         let metrics = self.metrics_snap.expect("window finalized above");
         let cache = match (self.cache_start, self.cache_end) {
@@ -673,17 +769,53 @@ impl<'w> Simulation<'w> {
             workers: self.cfg.workers,
             timeline: self.timeline,
             spans: self.span_store.map(SpanStore::finish),
+            shards: shard_windows,
+        }
+    }
+
+    /// Per-shard (data, ctrl) link snapshots, in shard order.
+    fn link_snapshots(
+        nics: &[RdmaNic],
+    ) -> Vec<(fabric::link::LinkSnapshot, fabric::link::LinkSnapshot)> {
+        nics.iter()
+            .map(|n| (n.data_link().snapshot(), n.ctrl_link().snapshot()))
+            .collect()
+    }
+
+    /// Outstanding work requests summed over every shard rail.
+    fn total_outstanding(&self) -> u32 {
+        self.nics.iter().map(|n| n.total_outstanding()).sum()
+    }
+
+    /// Updates a shard's QP-occupancy gauge (multi-shard runs only —
+    /// the handles are not registered otherwise).
+    #[inline]
+    fn note_shard_outstanding(&mut self, shard: usize, at: SimTime) {
+        if let Some(ids) = self.shard_ids.get(shard) {
+            self.metrics.gauge_set(
+                ids.qp_outstanding,
+                at,
+                self.nics[shard].total_outstanding() as f64,
+            );
         }
     }
 
     /// Closes the measurement window at `now`: folds the link message
     /// deltas into the registry and freezes the snapshot.
     fn finalize_window(&mut self, now: SimTime) {
-        if let (Some((d0, c0)), Some((d1, c1))) = (self.start_snap, self.end_snap) {
-            self.metrics
-                .add(self.ids.rdma_data_msgs, d1.messages - d0.messages);
-            self.metrics
-                .add(self.ids.rdma_ctrl_msgs, c1.messages - c0.messages);
+        if let (Some(s0), Some(s1)) = (&self.start_snap, &self.end_snap) {
+            let data: u64 = s0
+                .iter()
+                .zip(s1)
+                .map(|((d0, _), (d1, _))| d1.messages - d0.messages)
+                .sum();
+            let ctrl: u64 = s0
+                .iter()
+                .zip(s1)
+                .map(|((_, c0), (_, c1))| c1.messages - c0.messages)
+                .sum();
+            self.metrics.add(self.ids.rdma_data_msgs, data);
+            self.metrics.add(self.ids.rdma_ctrl_msgs, ctrl);
         }
         // Fault-plane counters accumulate from t=0; fold in the
         // measurement-window delta like the link message counts above.
@@ -786,9 +918,9 @@ impl<'w> Simulation<'w> {
             Ev::WorkerWake { worker, cont } => self.on_worker_wake(now, worker, cont),
             Ev::FetchDone { worker, page } => self.on_fetch_done(now, worker, page),
             Ev::WaiterReady { req } => self.on_waiter_ready(now, req),
-            Ev::WriteDone => self.on_write_done(now),
+            Ev::WriteDone { shard } => self.on_write_done(now, shard),
             Ev::ReclaimTick => self.on_reclaim_tick(now),
-            Ev::CqeRetire { qp } => self.on_cqe_retire(now, qp),
+            Ev::CqeRetire { shard, qp } => self.on_cqe_retire(now, shard, qp),
         }
     }
 
@@ -802,9 +934,10 @@ impl<'w> Simulation<'w> {
                 .sum::<usize>();
         self.metrics
             .gauge_set(self.ids.queue_depth, now, depth as f64);
+        let inflight = self.total_outstanding();
         if let Some(tl) = &mut self.timeline {
             tl.queue_depth.record(now, depth as f64);
-            tl.inflight.record(now, self.nic.total_outstanding() as f64);
+            tl.inflight.record(now, inflight as f64);
         }
         if self.plane.active() {
             let in_episode = self.plane.episode_active(now);
@@ -902,12 +1035,20 @@ impl<'w> Simulation<'w> {
             }
             DispatchPolicy::PfAware => {
                 // SortByOutstandingPFCount over idle workers: take the
-                // minimum (ties by index for determinism).
+                // minimum (ties by index for determinism). A worker's
+                // outstanding count spans every shard rail its QP id is
+                // mapped onto, so dispatch stays fault-aware under
+                // sharding without favouring any one shard.
                 self.workers
                     .iter()
                     .enumerate()
                     .filter(|(_, w)| !w.busy)
-                    .min_by_key(|(i, w)| (self.nic.outstanding(w.qp), *i))
+                    .min_by_key(|(i, w)| {
+                        (
+                            self.nics.iter().map(|n| n.outstanding(w.qp)).sum::<u32>(),
+                            *i,
+                        )
+                    })
                     .map(|(i, _)| i)
             }
         }
@@ -1301,11 +1442,13 @@ impl<'w> Simulation<'w> {
         }
         self.kick_reclaimer(t);
 
-        // Post the one-sided READ, following the failover chain across
-        // replicas when completions come back in error.
+        // Post the one-sided READ on the page's shard rail, following
+        // that shard's failover chain across replicas when completions
+        // come back in error.
+        let shard = self.shard_map.shard_of(page);
         let qp = self.workers[w].qp;
         let post_at = t + self.cfg.fault_issue;
-        let outcome = match self.issue_fetch(req, qp, page, post_at) {
+        let outcome = match self.issue_fetch(req, qp, shard, page, post_at) {
             Ok(o) => o,
             Err(fabric::PostError::QpFull) => {
                 // §5.2: "page fault handlers must pause, waiting for
@@ -1328,11 +1471,10 @@ impl<'w> Simulation<'w> {
             }
         };
         t += self.cfg.fault_issue + self.cfg.prefetch_compute;
-        self.metrics.gauge_set(
-            self.ids.qp_outstanding,
-            t,
-            self.nic.total_outstanding() as f64,
-        );
+        let outstanding = self.total_outstanding();
+        self.metrics
+            .gauge_set(self.ids.qp_outstanding, t, outstanding as f64);
+        self.note_shard_outstanding(shard, t);
         self.inflight.insert(
             page,
             Inflight {
@@ -1411,10 +1553,11 @@ impl<'w> Simulation<'w> {
         &mut self,
         req: usize,
         qp0: QpId,
+        shard: usize,
         page: u64,
         post_at: SimTime,
     ) -> Result<FetchOutcome, fabric::PostError> {
-        let replicas = self.cfg.memnode_replicas.max(1);
+        let replicas = self.cfg.replicas();
         let max_attempts = self.cfg.max_fetch_attempts.max(1);
         let failover_qp = QpId(self.cfg.workers as u32 + 1);
         let mut qp = qp0;
@@ -1424,7 +1567,7 @@ impl<'w> Simulation<'w> {
         // Terminal CQE of the previous (errored) attempt.
         let mut pending: Option<(QpId, SimTime)> = None;
         loop {
-            let completion = match self.post_read(at, qp, page, replica) {
+            let completion = match self.post_read(at, shard, qp, page, replica) {
                 Ok(c) => c,
                 Err(e) => {
                     let Some((pqp, pdone)) = pending else {
@@ -1434,6 +1577,7 @@ impl<'w> Simulation<'w> {
                     // error CQE.
                     self.metrics.inc(self.ids.qp_full_retries);
                     self.metrics.inc(self.ids.fetch_chain_failures);
+                    self.shard_inc(shard, |s| s.chain_failures);
                     self.trace(at, "fault", "chain_fail", req as u64, page);
                     return Ok(FetchOutcome {
                         qp: pqp,
@@ -1442,15 +1586,18 @@ impl<'w> Simulation<'w> {
                     });
                 }
             };
+            self.shard_inc(shard, |s| s.fetches);
             if let Some((pqp, pdone)) = pending.take() {
                 // The failover post took over: the previous error CQE
                 // only needs retiring when it becomes pollable.
-                self.events.push(pdone, Ev::CqeRetire { qp: pqp });
+                self.events.push(pdone, Ev::CqeRetire { shard, qp: pqp });
                 self.metrics.inc(self.ids.fetch_failovers);
+                self.shard_inc(shard, |s| s.failovers);
             }
             if completion.retransmits > 0 {
                 self.metrics
                     .add(self.ids.fetch_retransmits, completion.retransmits as u64);
+                self.shard_add(shard, |s| s.retransmits, completion.retransmits as u64);
                 self.trace(
                     completion.wire_start,
                     "fault",
@@ -1466,11 +1613,15 @@ impl<'w> Simulation<'w> {
                     completion.wire_start,
                     completion.done_at,
                     page,
-                    qp.0 as u64,
+                    desim::span::shard_qp(shard as u64, qp.0 as u64),
                     completion.retransmits,
                 );
             }
             if !completion.is_error() {
+                if completion.done_at >= self.warmup_end && completion.done_at < self.measure_end {
+                    self.shard_fetch_ns[shard]
+                        .record(completion.done_at.saturating_since(post_at).as_nanos());
+                }
                 return Ok(FetchOutcome {
                     qp,
                     done_at: completion.done_at,
@@ -1478,9 +1629,11 @@ impl<'w> Simulation<'w> {
                 });
             }
             self.metrics.inc(self.ids.fetch_cqe_errors);
+            self.shard_inc(shard, |s| s.cqe_errors);
             self.trace(completion.done_at, "fault", "fetch_error", req as u64, page);
             if attempt >= max_attempts {
                 self.metrics.inc(self.ids.fetch_chain_failures);
+                self.shard_inc(shard, |s| s.chain_failures);
                 return Ok(FetchOutcome {
                     qp,
                     done_at: completion.done_at,
@@ -1492,30 +1645,53 @@ impl<'w> Simulation<'w> {
             at = completion.done_at;
             qp = failover_qp;
             attempt += 1;
-            self.trace(at, "fault", "failover", replica as u64, attempt as u64);
+            // The trace/span operand is the *global* memnode id the
+            // chain moves to — on single-shard runs that equals the
+            // replica index, preserving the pre-sharding byte stream.
+            let node = self.shard_map.node_id(shard, replica) as u64;
+            self.trace(at, "fault", "failover", node, attempt as u64);
             if let Some(sb) = self.sb(req) {
-                sb.failover(at, replica as u64, attempt as u64);
+                sb.failover(at, node, attempt as u64);
             }
         }
     }
 
-    /// One READ post against replica `replica`, through the fault plane.
+    /// One READ post on shard `shard`'s rail against its replica
+    /// `replica`, through the fault plane.
     fn post_read(
         &mut self,
         at: SimTime,
+        shard: usize,
         qp: QpId,
         page: u64,
         replica: usize,
     ) -> Result<fabric::nic::Completion, fabric::PostError> {
-        self.nic.post(
+        let node = self.shard_map.node_id(shard, replica) as usize;
+        self.nics[shard].post(
             at,
             qp,
             Verb::Read,
             page,
             self.cfg.fetch_page_bytes,
-            &mut self.mems[replica],
+            &mut self.mems[node],
             &mut self.plane,
         )
+    }
+
+    /// Bumps a per-shard counter (registered only on multi-shard runs).
+    #[inline]
+    fn shard_inc(&mut self, shard: usize, pick: fn(&ShardMetricIds) -> CounterId) {
+        if let Some(id) = self.shard_ids.get(shard).map(pick) {
+            self.metrics.inc(id);
+        }
+    }
+
+    /// Adds to a per-shard counter (registered only on multi-shard runs).
+    #[inline]
+    fn shard_add(&mut self, shard: usize, pick: fn(&ShardMetricIds) -> CounterId, n: u64) {
+        if let Some(id) = self.shard_ids.get(shard).map(pick) {
+            self.metrics.add(id, n);
+        }
     }
 
     /// Sequential + speculative readahead (§2.3: every system overlaps a
@@ -1541,9 +1717,11 @@ impl<'w> Simulation<'w> {
                 break;
             }
             assert!(self.cache.begin_fetch(p));
-            match self.post_read(t, qp, p, 0) {
+            let ps = self.shard_map.shard_of(p);
+            match self.post_read(t, ps, qp, p, 0) {
                 Ok(c) => {
                     self.metrics.inc(self.ids.prefetches);
+                    self.shard_inc(ps, |s| s.fetches);
                     self.trace(t, "fault", "prefetch", page, p);
                     if c.is_error() {
                         // Speculative fetches get no failover chain —
@@ -1584,12 +1762,12 @@ impl<'w> Simulation<'w> {
         // failover QP when the chain migrated); prefetch entries and
         // pre-fault paths fall back to the worker's QP.
         let cqe_qp = info.as_ref().map_or(self.workers[w].qp, |i| i.qp);
-        self.nic.on_cqe(now, cqe_qp);
-        self.metrics.gauge_set(
-            self.ids.qp_outstanding,
-            now,
-            self.nic.total_outstanding() as f64,
-        );
+        let shard = self.shard_map.shard_of(page);
+        self.nics[shard].on_cqe(now, cqe_qp);
+        let outstanding = self.total_outstanding();
+        self.metrics
+            .gauge_set(self.ids.qp_outstanding, now, outstanding as f64);
+        self.note_shard_outstanding(shard, now);
         self.trace(now, "nic", "fetch_done", w as u64, page);
         if let Some(info) = info {
             if info.failed {
@@ -1867,13 +2045,15 @@ impl<'w> Simulation<'w> {
         // reclaim cycle would dump thousands of WRITEs into the shared
         // WQE engine and stall page fetches behind them.
         let qp = QpId(self.cfg.workers as u32);
-        match self.nic.post(
+        let shard = self.shard_map.shard_of(page);
+        let primary = self.shard_map.node_id(shard, 0) as usize;
+        match self.nics[shard].post(
             now,
             qp,
             Verb::Write,
             page,
             self.cfg.fetch_page_bytes,
-            &mut self.mems[0],
+            &mut self.mems[primary],
             &mut self.plane,
         ) {
             Ok(c) => {
@@ -1885,37 +2065,35 @@ impl<'w> Simulation<'w> {
                     self.metrics.inc(self.ids.writeback_errors);
                 }
                 self.trace(now, "reclaim", "writeback", page, 0);
-                self.events.push(c.done_at, Ev::WriteDone);
+                self.events.push(c.done_at, Ev::WriteDone { shard });
             }
             Err(fabric::PostError::QpFull) => {
                 self.metrics.inc(self.ids.qp_full_retries);
-                self.deferred_writebacks.push_back(page);
+                self.deferred_writebacks[shard].push_back(page);
             }
         }
     }
 
-    fn on_write_done(&mut self, now: SimTime) {
-        self.nic.on_cqe(now, QpId(self.cfg.workers as u32));
-        self.metrics.gauge_set(
-            self.ids.qp_outstanding,
-            now,
-            self.nic.total_outstanding() as f64,
-        );
-        if let Some(page) = self.deferred_writebacks.pop_front() {
+    fn on_write_done(&mut self, now: SimTime, shard: usize) {
+        self.nics[shard].on_cqe(now, QpId(self.cfg.workers as u32));
+        let outstanding = self.total_outstanding();
+        self.metrics
+            .gauge_set(self.ids.qp_outstanding, now, outstanding as f64);
+        self.note_shard_outstanding(shard, now);
+        if let Some(page) = self.deferred_writebacks[shard].pop_front() {
             self.writeback(now, page);
         }
     }
 
     /// An intermediate error CQE of a failover chain surfaced: consume
     /// it so the QP slot frees (the chain already continued elsewhere).
-    fn on_cqe_retire(&mut self, now: SimTime, qp: QpId) {
-        self.nic.on_cqe(now, qp);
-        self.metrics.gauge_set(
-            self.ids.qp_outstanding,
-            now,
-            self.nic.total_outstanding() as f64,
-        );
-        self.trace(now, "nic", "cqe_retire", qp.0 as u64, 0);
+    fn on_cqe_retire(&mut self, now: SimTime, shard: usize, qp: QpId) {
+        self.nics[shard].on_cqe(now, qp);
+        let outstanding = self.total_outstanding();
+        self.metrics
+            .gauge_set(self.ids.qp_outstanding, now, outstanding as f64);
+        self.note_shard_outstanding(shard, now);
+        self.trace(now, "nic", "cqe_retire", qp.0 as u64, shard as u64);
     }
 }
 
@@ -1969,14 +2147,27 @@ mod tests {
     }
 
     /// Every error CQE either fails over to the next replica or
-    /// terminates its chain — no fetch can vanish in between.
+    /// terminates its chain — no fetch can vanish in between. On
+    /// sharded runs the same partition must hold shard by shard:
+    /// failovers on one shard cannot paper over chain failures on
+    /// another.
     fn assert_fault_invariant(res: &RunResult) {
+        use desim::trace::shard_names as sn;
         let c = |name| res.metrics.counter(name).unwrap_or(0);
         assert_eq!(
             c("fetch_cqe_errors"),
             c("fetch_failovers") + c("fetch_chain_failures"),
             "error CQEs must be exactly partitioned into failovers and chain failures"
         );
+        for s in 0..sn::MAX_SHARDS {
+            if let Some(errs) = res.metrics.counter(sn::CQE_ERRORS[s]) {
+                assert_eq!(
+                    errs,
+                    c(sn::FAILOVERS[s]) + c(sn::CHAIN_FAILURES[s]),
+                    "shard {s}: error CQEs must partition into failovers and chain failures"
+                );
+            }
+        }
     }
 
     #[test]
@@ -2511,5 +2702,107 @@ mod tests {
         let qd = m.gauge("queue_depth").expect("queue_depth registered");
         assert!(qd.max >= 1.0);
         assert!(m.gauge("qp_outstanding").is_some());
+    }
+
+    // ----- memnode sharding ---------------------------------------------
+
+    #[test]
+    fn single_shard_runs_register_no_per_shard_counters() {
+        use desim::trace::shard_names as sn;
+        let mut w = small_workload();
+        let res = run_one(SystemConfig::adios(), &mut w, quick_params(400_000.0));
+        assert!(
+            res.metrics.counter(sn::FETCHES[0]).is_none(),
+            "per-shard counters must stay out of single-shard registries"
+        );
+        assert!(res.metrics.gauge(sn::QP_OUTSTANDING[0]).is_none());
+        assert_eq!(
+            res.shards.len(),
+            1,
+            "the lone shard still gets a window view"
+        );
+    }
+
+    #[test]
+    fn sharded_run_spreads_fetches_across_every_shard() {
+        use desim::trace::shard_names as sn;
+        let cfg = SystemConfig {
+            memnode_shards: 4,
+            ..SystemConfig::adios()
+        };
+        let mut w = small_workload();
+        let res = run_one(cfg, &mut w, quick_params(400_000.0));
+        assert_eq!(res.shards.len(), 4);
+        for s in 0..4 {
+            let fetched = res.metrics.counter(sn::FETCHES[s]).unwrap_or(0);
+            assert!(fetched > 0, "shard {s} saw no fetches");
+            assert!(
+                res.shards[s].data_bytes > 0,
+                "shard {s} moved no data on its rail"
+            );
+        }
+        assert_eq!(res.recorder.dropped(), 0);
+        assert_fault_invariant(&res);
+    }
+
+    #[test]
+    fn sharded_crash_fails_over_one_shard_and_spares_the_rest() {
+        use desim::trace::shard_names as sn;
+        // Down global node 0 — shard 0's primary under the packed chain
+        // layout — with no steady error rate (the canonical `crash`
+        // scenario adds 0.1 % background CQE errors, which would touch
+        // every shard). Shard 0's pages must walk its replica chain;
+        // shards 1–3 must never see an error.
+        let cfg = SystemConfig {
+            memnode_shards: 4,
+            memnode_replicas: 2,
+            ..SystemConfig::adios()
+        };
+        let res = run_faulty(cfg, 400_000.0, FaultScenario::crash_node(0));
+        let c = |name| res.metrics.counter(name).unwrap_or(0);
+        assert!(
+            c(sn::FAILOVERS[0]) > 0,
+            "shard 0's outage must divert onto its replica"
+        );
+        for s in 1..4 {
+            assert_eq!(
+                c(sn::CQE_ERRORS[s]),
+                0,
+                "shard {s} shares no fate with shard 0's dead primary"
+            );
+        }
+        assert_eq!(res.recorder.dropped(), 0, "replica absorbs the outage");
+        assert_fault_invariant(&res);
+    }
+
+    #[test]
+    fn sharded_crash_of_a_non_primary_node_spares_shard_zero() {
+        use desim::trace::shard_names as sn;
+        // Down shard 1's primary (global node 2 when replicas = 2):
+        // re-mapping must stay contained to shard 1.
+        let cfg = SystemConfig {
+            memnode_shards: 4,
+            memnode_replicas: 2,
+            ..SystemConfig::adios()
+        };
+        let res = run_faulty(cfg, 400_000.0, FaultScenario::crash_node(2));
+        let c = |name| res.metrics.counter(name).unwrap_or(0);
+        assert!(c(sn::FAILOVERS[1]) > 0, "shard 1 must fail over");
+        for s in [0usize, 2, 3] {
+            assert_eq!(c(sn::CQE_ERRORS[s]), 0, "shard {s} must be untouched");
+        }
+        assert_eq!(res.recorder.dropped(), 0);
+        assert_fault_invariant(&res);
+    }
+
+    #[test]
+    #[should_panic(expected = "memnode_shards must be at least 1")]
+    fn zero_shards_is_rejected_at_run_start() {
+        let cfg = SystemConfig {
+            memnode_shards: 0,
+            ..SystemConfig::adios()
+        };
+        let mut w = small_workload();
+        let _ = run_one(cfg, &mut w, quick_params(100_000.0));
     }
 }

@@ -1,0 +1,40 @@
+use adios::prelude::*;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn main() {
+    let p = RunParams {
+        offered_rps: 900_000.0,
+        seed: 5,
+        warmup: SimDuration::from_millis(3),
+        measure: SimDuration::from_millis(12),
+        local_mem_fraction: 0.2,
+        keep_breakdowns: false,
+        burst: None,
+        timeline_bucket: None,
+        trace_capacity: Some(200_000),
+        spans: Some(adios::desim::SpanConfig::with_exemplars(95.0, 32)),
+        faults: None,
+    };
+    let mut w = ArrayIndexWorkload::new(16_384);
+    let res = run_one(SystemConfig::adios(), &mut w, p);
+    let json = adios::core_api::run_json(&res);
+    let perfetto = adios::desim::span::perfetto_json(&res.spans.as_ref().unwrap().exemplars);
+    println!(
+        "run_json len={} fnv=0x{:016x}",
+        json.len(),
+        fnv1a(json.as_bytes())
+    );
+    println!(
+        "perfetto len={} fnv=0x{:016x}",
+        perfetto.len(),
+        fnv1a(perfetto.as_bytes())
+    );
+}

@@ -200,6 +200,84 @@ fn fault_injection_bitwise_reproducible() {
 }
 
 #[test]
+fn sharded_runs_bitwise_reproducible() {
+    // Sharding the page space must not cost any determinism: at 1 and
+    // 4 shards, equal seeds serialise to byte-identical run JSON
+    // (metrics + per-shard block + trace) and Perfetto span JSON.
+    use adios::desim::span::perfetto_json;
+    let mut jsons = Vec::new();
+    for shards in [1usize, 4] {
+        let mut p = params(5);
+        p.trace_capacity = Some(200_000);
+        p.spans = Some(adios::desim::SpanConfig::with_exemplars(95.0, 32));
+        let cfg = || SystemConfig {
+            memnode_shards: shards,
+            ..SystemConfig::adios()
+        };
+        let mut w1 = ArrayIndexWorkload::new(16_384);
+        let mut w2 = ArrayIndexWorkload::new(16_384);
+        let a = run_one(cfg(), &mut w1, p.clone());
+        let b = run_one(cfg(), &mut w2, p.clone());
+        assert_eq!(fingerprint(&a), fingerprint(&b), "{shards} shards");
+        assert_eq!(
+            adios::core_api::run_json(&a),
+            adios::core_api::run_json(&b),
+            "{shards} shards: equal seeds must serialise identically"
+        );
+        assert_eq!(
+            perfetto_json(&a.spans.as_ref().unwrap().exemplars),
+            perfetto_json(&b.spans.as_ref().unwrap().exemplars),
+            "{shards} shards: equal seeds must serialise identical Perfetto JSON"
+        );
+        jsons.push(adios::core_api::run_json(&a));
+    }
+    assert_ne!(
+        jsons[0], jsons[1],
+        "shard counts must not collide: routing and the per-shard block differ"
+    );
+}
+
+/// FNV-1a 64 over a byte string (no dependency needed).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn single_shard_reproduces_the_unsharded_byte_stream() {
+    // Regression anchor for the sharding refactor: with the default
+    // `memnode_shards = 1`, today's runs must reproduce the
+    // pre-sharding serialisation *byte for byte* — same length, same
+    // FNV-1a fingerprint — for both the run JSON (metrics + trace) and
+    // the Perfetto span export. The constants were captured on the
+    // single-primary tree; refresh them via `cargo run --release
+    // --example golden_capture` only when an intentional format change
+    // lands.
+    use adios::desim::span::perfetto_json;
+    let mut p = params(5);
+    p.trace_capacity = Some(200_000);
+    p.spans = Some(adios::desim::SpanConfig::with_exemplars(95.0, 32));
+    let mut w = ArrayIndexWorkload::new(16_384);
+    let res = run_one(SystemConfig::adios(), &mut w, p);
+    let run = adios::core_api::run_json(&res);
+    let spans = perfetto_json(&res.spans.as_ref().unwrap().exemplars);
+    assert_eq!(
+        (run.len(), fnv1a(run.as_bytes())),
+        (5_212_345, 0xbaaf_7950_0447_bf72),
+        "run JSON drifted from the pre-sharding byte stream"
+    );
+    assert_eq!(
+        (spans.len(), fnv1a(spans.as_bytes())),
+        (89_823, 0x2d32_f248_98b5_aab4),
+        "Perfetto JSON drifted from the pre-sharding byte stream"
+    );
+}
+
+#[test]
 fn workload_traces_independent_of_system() {
     // The same seed must offer the *same request sequence* to every
     // system — that is what makes cross-system comparisons fair.

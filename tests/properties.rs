@@ -346,6 +346,110 @@ fn crash_faults_account_for_every_request() {
     );
 }
 
+/// Sharded runs keep the same books, just partitioned: per-shard
+/// retransmit / error / failover / chain-failure counters sum exactly
+/// to the run totals — no event can land on two shards or on none.
+#[test]
+fn sharded_counters_sum_to_run_totals() {
+    use adios::desim::trace::shard_names as sn;
+    for (scenario, replicas) in [
+        (FaultScenario::lossy(), 1usize),
+        (FaultScenario::crash(), 2usize),
+    ] {
+        let shards = 4usize;
+        let mut wl = ArrayIndexWorkload::new(8_192);
+        let r = run_one(
+            SystemConfig {
+                memnode_shards: shards,
+                memnode_replicas: replicas,
+                ..SystemConfig::adios()
+            },
+            &mut wl,
+            RunParams {
+                offered_rps: 300_000.0,
+                seed: 23,
+                warmup: SimDuration::from_millis(2),
+                // Keep part of the 10..60 ms crash outage in-window.
+                measure: SimDuration::from_millis(12),
+                local_mem_fraction: 0.2,
+                faults: Some(scenario.clone()),
+                ..Default::default()
+            },
+        );
+        let ctx = format!("scenario={}", scenario.name);
+        let c = |n: &str| r.metrics.counter(n).unwrap_or(0);
+        let shard_sum =
+            |table: &[&'static str; sn::MAX_SHARDS]| (0..shards).map(|s| c(table[s])).sum::<u64>();
+        assert_eq!(
+            shard_sum(&sn::RETRANSMITS),
+            c("fetch_retransmits"),
+            "{ctx}: retransmits"
+        );
+        assert_eq!(
+            shard_sum(&sn::CQE_ERRORS),
+            c("fetch_cqe_errors"),
+            "{ctx}: cqe errors"
+        );
+        assert_eq!(
+            shard_sum(&sn::FAILOVERS),
+            c("fetch_failovers"),
+            "{ctx}: failovers"
+        );
+        assert_eq!(
+            shard_sum(&sn::CHAIN_FAILURES),
+            c("fetch_chain_failures"),
+            "{ctx}: chain failures"
+        );
+        assert!(shard_sum(&sn::FETCHES) > 0, "{ctx}: no fetch traffic");
+    }
+}
+
+/// The error-CQE partition invariant survives sharding shard by shard
+/// under the crash scenario: within every shard, errors split exactly
+/// into failovers plus chain failures.
+#[test]
+fn sharded_crash_partitions_errors_per_shard() {
+    use adios::desim::trace::shard_names as sn;
+    let shards = 4usize;
+    let mut wl = ArrayIndexWorkload::new(8_192);
+    let r = run_one(
+        SystemConfig {
+            memnode_shards: shards,
+            memnode_replicas: 2,
+            ..SystemConfig::adios()
+        },
+        &mut wl,
+        RunParams {
+            offered_rps: 200_000.0,
+            seed: 29,
+            warmup: SimDuration::from_millis(3),
+            // The outage spans t = 10..60 ms; keep a chunk of it
+            // inside the measurement window.
+            measure: SimDuration::from_millis(27),
+            local_mem_fraction: 0.2,
+            faults: Some(FaultScenario::crash()),
+            ..Default::default()
+        },
+    );
+    let c = |n: &str| r.metrics.counter(n).unwrap_or(0);
+    for s in 0..shards {
+        assert_eq!(
+            c(sn::CQE_ERRORS[s]),
+            c(sn::FAILOVERS[s]) + c(sn::CHAIN_FAILURES[s]),
+            "shard {s}: error CQEs must partition into failovers and chain failures"
+        );
+    }
+    assert!(
+        c(sn::FAILOVERS[0]) > 0,
+        "the crash downs shard 0's primary, which must fail over"
+    );
+    // Demand chains never fail (the replica absorbs the outage); only
+    // speculative prefetches — which deliberately get no failover
+    // chain — may strand a coalesced waiter.
+    assert_eq!(c("fetch_chain_failures"), 0, "no demand chain may die");
+    assert!(c("fetch_aborts") <= c("prefetch_errors"));
+}
+
 /// Workload traces from the applications always replay to completion
 /// (no stuck requests) at a light load.
 #[test]
