@@ -42,6 +42,18 @@ flags:
                      fault-plane / retransmission counters
   --shards N         shard the page space across N memnodes in the
                      smoke runs and print the per-shard counters
+  --telemetry        run the continuous-telemetry plane: per-tick
+                     counter/gauge series, per-QP/per-shard health
+                     scores and SLO breach events; writes
+                     <out-dir>/telemetry_<system>.{json,csv},
+                     health_<system>.csv, slo_events_<system>.csv,
+                     perfetto_counters_<system>.json, and a
+                     BENCH_adios.json perf baseline in the cwd
+  --tick <us>        telemetry sampling period in microseconds
+                     (default 100; implies --telemetry)
+  --slo <spec>       comma-separated SLO rules (implies --telemetry):
+                     lat<OBJ:BUDGET@WINDOW (e.g. lat<20us:0.05@1ms),
+                     err<BUDGET@WINDOW, qgrow>FACTOR@WINDOW
   --seed N           RNG seed for the smoke runs (unsigned integer,
                      default 1)
   --out-dir <dir>    output directory (default: results)";
@@ -54,6 +66,9 @@ struct Cli {
     perfetto: Option<PathBuf>,
     faults: Option<FaultScenario>,
     shards: Option<usize>,
+    telemetry: bool,
+    tick_us: u64,
+    slo: Option<Vec<desim::SloRule>>,
     seed: Option<u64>,
     out_dir: PathBuf,
 }
@@ -65,6 +80,7 @@ impl Cli {
             || self.perfetto.is_some()
             || self.faults.is_some()
             || self.shards.is_some()
+            || self.telemetry
     }
 }
 
@@ -81,6 +97,9 @@ fn parse_args(args: &[String]) -> Cli {
         perfetto: None,
         faults: None,
         shards: None,
+        telemetry: false,
+        tick_us: 100,
+        slo: None,
         seed: None,
         out_dir: PathBuf::from("results"),
     };
@@ -137,6 +156,25 @@ fn parse_args(args: &[String]) -> Cli {
                 }
                 cli.shards = Some(n);
             }
+            "--telemetry" => cli.telemetry = true,
+            "--tick" => {
+                let v = it.next().unwrap_or_else(|| die("--tick requires a value"));
+                cli.tick_us = v
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("invalid --tick value: {v}")));
+                if cli.tick_us == 0 {
+                    die("--tick must be positive");
+                }
+                cli.telemetry = true;
+            }
+            "--slo" => {
+                let v = it.next().unwrap_or_else(|| die("--slo requires a spec"));
+                cli.slo = Some(
+                    desim::parse_slo_spec(v)
+                        .unwrap_or_else(|e| die(&format!("invalid --slo spec: {e}"))),
+                );
+                cli.telemetry = true;
+            }
             "--seed" => {
                 let v = it.next().unwrap_or_else(|| die("--seed requires a value"));
                 cli.seed = Some(v.parse::<u64>().unwrap_or_else(|_| {
@@ -157,21 +195,51 @@ fn parse_args(args: &[String]) -> Cli {
     cli
 }
 
+/// Splices telemetry counter events into a span-layer Perfetto
+/// document so series and spans share one timeline (the counter tracks
+/// land under their own synthetic "telemetry" process).
+fn splice_counters(span_perfetto: &str, counters: &[String]) -> String {
+    let body = span_perfetto
+        .strip_suffix("]}")
+        .expect("span perfetto JSON ends with ]}");
+    let mut out = String::with_capacity(
+        span_perfetto.len() + counters.iter().map(String::len).sum::<usize>(),
+    );
+    out.push_str(body);
+    for c in counters {
+        out.push(',');
+        out.push_str(c);
+    }
+    out.push_str("]}");
+    out
+}
+
 /// Smoke mode: one short instrumented run per system; timelines and
 /// span trees on disk, summaries on stdout.
 fn smoke_mode(cli: &Cli) {
     std::fs::create_dir_all(&cli.out_dir).expect("create output directory");
+    let wall_start = Instant::now();
+    let mut peak_rps: f64 = 0.0;
     for kind in [SystemKind::Dilos, SystemKind::Adios] {
         let mut workload = ArrayIndexWorkload::new(16_384);
         let mut params = RunParams {
             offered_rps: 800_000.0,
             warmup: SimDuration::from_millis(1),
-            measure: SimDuration::from_millis(2),
+            // The telemetry smoke needs room for a before/during/after
+            // SLO arc around the lossy scenario's 5–7 ms episode.
+            measure: SimDuration::from_millis(if cli.telemetry { 12 } else { 2 }),
             trace_capacity: cli.trace.then_some(cli.trace_cap),
             spans: cli
                 .spans
                 .then(|| desim::SpanConfig::with_exemplars(99.0, 64)),
             faults: cli.faults.clone(),
+            telemetry: cli.telemetry.then(|| desim::TelemetryConfig {
+                tick: SimDuration::from_micros(cli.tick_us),
+                rules: cli
+                    .slo
+                    .clone()
+                    .unwrap_or_else(desim::telemetry::default_rules),
+            }),
             ..Default::default()
         };
         if let Some(seed) = cli.seed {
@@ -188,6 +256,7 @@ fn smoke_mode(cli: &Cli) {
         }
         let res = run_one(cfg, &mut workload, params);
         let system = format!("{kind:?}").to_lowercase();
+        peak_rps = peak_rps.max(res.recorder.achieved_rps());
 
         if let Some(n) = cli.shards.filter(|&n| n > 1) {
             use desim::trace::shard_names as sn;
@@ -231,6 +300,53 @@ fn smoke_mode(cli: &Cli) {
                 "    completed {} requests, dropped {}\n",
                 res.recorder.completed_in_window(),
                 res.recorder.dropped()
+            );
+        }
+
+        if let Some(t) = &res.telemetry {
+            println!(
+                "==== {kind:?}: continuous telemetry ({} ticks of {} µs, {} SLO events) ====",
+                t.ticks,
+                t.tick.as_nanos() / 1_000,
+                t.events.len()
+            );
+            for e in &t.events {
+                println!(
+                    "    slo rule {} ({}) breach {} at {:>10} ns  burn {}.{:03}",
+                    e.rule,
+                    t.rules[e.rule].kind_name(),
+                    e.kind.name(),
+                    e.at.as_nanos(),
+                    e.value_milli / 1000,
+                    e.value_milli % 1000
+                );
+            }
+            for (name, s) in t.health_series() {
+                let scores = s.lasts();
+                let min = scores.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min);
+                println!(
+                    "    health {name:>7}: min {:.1} over {} samples",
+                    if min.is_finite() { min } else { 100.0 },
+                    scores.len()
+                );
+            }
+            let json = cli.out_dir.join(format!("telemetry_{system}.json"));
+            std::fs::write(&json, run_json(&res)).expect("write telemetry JSON");
+            let csv = cli.out_dir.join(format!("telemetry_{system}.csv"));
+            std::fs::write(&csv, t.series_csv()).expect("write telemetry CSV");
+            let health = cli.out_dir.join(format!("health_{system}.csv"));
+            std::fs::write(&health, t.health_csv()).expect("write health CSV");
+            let events = cli.out_dir.join(format!("slo_events_{system}.csv"));
+            std::fs::write(&events, t.events_csv()).expect("write SLO event CSV");
+            let counters = cli.out_dir.join(format!("perfetto_counters_{system}.json"));
+            std::fs::write(&counters, t.perfetto_json()).expect("write counter tracks");
+            println!(
+                "wrote {}, {}, {}, {}, {}\n",
+                json.display(),
+                csv.display(),
+                health.display(),
+                events.display(),
+                counters.display()
             );
         }
 
@@ -284,7 +400,15 @@ fn smoke_mode(cli: &Cli) {
                     h.percentile(99.9)
                 );
             }
-            let perfetto = desim::span::perfetto_json(&report.exemplars);
+            // With telemetry on, the counter tracks ride along in the
+            // span document so both views share one Perfetto timeline.
+            let perfetto = match &res.telemetry {
+                Some(t) => splice_counters(
+                    &desim::span::perfetto_json(&report.exemplars),
+                    &t.perfetto_counter_events(),
+                ),
+                None => desim::span::perfetto_json(&report.exemplars),
+            };
             let path = cli.out_dir.join(format!("spans_{system}.json"));
             std::fs::write(&path, &perfetto).expect("write span JSON");
             println!(
@@ -301,6 +425,17 @@ fn smoke_mode(cli: &Cli) {
                 }
             }
         }
+    }
+    if cli.telemetry {
+        // Perf baseline for the bench trajectory: wall-clock of the
+        // whole smoke sweep plus the best achieved RPS across systems.
+        let bench = format!(
+            "{{\"name\":\"adios_telemetry_smoke\",\"wall_clock_s\":{:.3},\"peak_rps\":{:.3}}}\n",
+            wall_start.elapsed().as_secs_f64(),
+            peak_rps
+        );
+        std::fs::write("BENCH_adios.json", bench).expect("write BENCH_adios.json");
+        println!("wrote BENCH_adios.json");
     }
 }
 

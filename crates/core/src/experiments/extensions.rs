@@ -361,6 +361,7 @@ pub fn burst_tolerance(scale: Scale) -> FigureReport {
             trace_capacity: None,
             spans: None,
             faults: None,
+            telemetry: None,
         };
         let r = Simulation::new(cfg, &mut wl, params).run();
         if i == 0 {
@@ -419,6 +420,7 @@ pub fn scalability(scale: Scale) -> FigureReport {
             trace_capacity: None,
             spans: None,
             faults: None,
+            telemetry: None,
         };
         let r = Simulation::new(cfg, &mut wl, params).run();
         let achieved = r.recorder.achieved_rps();
@@ -564,6 +566,7 @@ pub fn faiss_nprobe(scale: Scale) -> FigureReport {
             trace_capacity: None,
             spans: None,
             faults: None,
+            telemetry: None,
         };
         let r = Simulation::new(SystemConfig::adios(), &mut wl, params).run();
         let p50 = r.recorder.overall().percentile(50.0);
@@ -706,6 +709,7 @@ fn run_faulty(
         trace_capacity: None,
         spans: Some(desim::SpanConfig::stats_only()),
         faults: Some(scenario),
+        telemetry: None,
     };
     Simulation::new(cfg.clone(), wl, params).run()
 }
@@ -978,6 +982,7 @@ pub fn shard_scaling(scale: Scale) -> FigureReport {
             trace_capacity: None,
             spans: None,
             faults: None,
+            telemetry: None,
         };
         let r = Simulation::new(cfg, &mut wl, params).run();
         let bytes: u64 = r.shards.iter().map(|w| w.data_bytes).sum();
@@ -1039,6 +1044,7 @@ pub fn shard_scaling(scale: Scale) -> FigureReport {
         trace_capacity: None,
         spans: None,
         faults,
+        telemetry: None,
     };
     let base = Simulation::new(crash_cfg.clone(), &mut wl, mk_params(None)).run();
     let crash = Simulation::new(

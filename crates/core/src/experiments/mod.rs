@@ -51,6 +51,7 @@ pub(crate) fn sweep(
                 // Per-stage latency histograms for every sweep row.
                 spans: Some(desim::SpanConfig::stats_only()),
                 faults: None,
+                telemetry: None,
             };
             Simulation::new(cfg.clone(), workload, params).run()
         })
@@ -80,6 +81,7 @@ pub(crate) fn run_with_breakdowns(
         // the per-request span trees' critical paths.
         spans: Some(desim::SpanConfig::default()),
         faults: None,
+        telemetry: None,
     };
     Simulation::new(cfg.clone(), workload, params).run()
 }

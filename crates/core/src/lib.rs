@@ -44,7 +44,7 @@ pub mod prelude {
     pub use crate::report::{Expectation, FigureReport, Series};
     pub use crate::scale::Scale;
     pub use apps::{FaissWorkload, MemcachedWorkload, RocksDbWorkload, TpccWorkload};
-    pub use desim::{SimDuration, SimTime};
+    pub use desim::{SimDuration, SimTime, SloRule, TelemetryConfig};
     pub use faults::FaultScenario;
     pub use loadgen::LoadPoint;
     pub use runtime::sim::{run_one, RunParams, RunResult};

@@ -7,6 +7,7 @@ use std::fmt::Write as _;
 /// Renders one run as a deterministic JSON object: load point,
 /// latency percentiles, window, utilisations, the full metrics
 /// registry, per-stage critical-path histograms (when the span layer
+/// was on), the continuous-telemetry block (when the flight recorder
 /// was on) and — when the run was traced — the virtual-time event
 /// timeline. Field order is fixed and floats use fixed precision, so
 /// equal-seed runs serialise byte-identically (see
@@ -69,6 +70,11 @@ pub fn run_json(res: &RunResult) -> String {
             let _ = write!(out, "\"stages\":{},", report.stats.to_json());
         }
         None => out.push_str("\"spans_measured\":0,\"stages\":null,"),
+    }
+    // Telemetry block only when the plane was on: disabled runs keep
+    // the exact pre-telemetry byte stream (the golden test pins it).
+    if let Some(t) = &res.telemetry {
+        let _ = write!(out, "\"telemetry\":{},", t.to_json());
     }
     // Always present, trace or not: a truncated (or absent) trace must
     // be distinguishable from a quiet run.

@@ -21,12 +21,17 @@
 //! - [`span`] — per-request span trees ([`SpanBuilder`], [`SpanStore`])
 //!   with exact critical-path attribution ([`CriticalPath`]), per-stage
 //!   histograms, tail exemplars, and Perfetto export.
+//! - [`telemetry`] — continuous telemetry: a virtual-time
+//!   [`FlightRecorder`] sampling every counter/gauge into
+//!   [`TimeSeries`] buckets, per-entity health scores, and an SLO
+//!   burn-rate engine emitting typed [`SloEvent`]s into the trace ring.
 
 pub mod event;
 pub mod hist;
 pub mod rng;
 pub mod series;
 pub mod span;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 
@@ -36,6 +41,10 @@ pub use rng::Rng;
 pub use series::TimeSeries;
 pub use span::{
     CriticalPath, Span, SpanBuilder, SpanConfig, SpanReport, SpanStore, SpanTree, StageStats,
+};
+pub use telemetry::{
+    health_score, parse_slo_spec, EpisodeNote, FlightRecorder, HealthInput, SloEvent, SloEventKind,
+    SloRule, TelemetryConfig, TelemetryReport,
 };
 pub use time::{SimDuration, SimTime, CYCLES_PER_SEC, NS_PER_SEC};
 pub use trace::{

@@ -8,12 +8,18 @@
 use crate::time::{SimDuration, SimTime};
 
 /// A mean-per-bucket time series.
+///
+/// Each bucket also keeps the maximum and the *last* sample it
+/// received, so one series serves both aggregation modes: mean/max for
+/// rate-like quantities and last-value for gauges (where the most
+/// recent observation, not the average of observations, is the state).
 #[derive(Debug, Clone)]
 pub struct TimeSeries {
     bucket: SimDuration,
     sums: Vec<f64>,
     counts: Vec<u64>,
     maxima: Vec<f64>,
+    lasts: Vec<f64>,
 }
 
 impl TimeSeries {
@@ -29,20 +35,64 @@ impl TimeSeries {
             sums: Vec::new(),
             counts: Vec::new(),
             maxima: Vec::new(),
+            lasts: Vec::new(),
         }
     }
 
     /// Records one sample of the quantity at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite: a NaN would poison every
+    /// aggregate of its bucket, and an infinity would make the
+    /// serialised output non-portable — both are recording bugs at the
+    /// sampling site, not data.
     pub fn record(&mut self, t: SimTime, value: f64) {
+        assert!(value.is_finite(), "non-finite sample {value}");
         let idx = (t.as_nanos() / self.bucket.as_nanos()) as usize;
         if idx >= self.sums.len() {
             self.sums.resize(idx + 1, 0.0);
             self.counts.resize(idx + 1, 0);
             self.maxima.resize(idx + 1, f64::NEG_INFINITY);
+            self.lasts.resize(idx + 1, 0.0);
         }
         self.sums[idx] += value;
         self.counts[idx] += 1;
         self.maxima[idx] = self.maxima[idx].max(value);
+        self.lasts[idx] = value;
+    }
+
+    /// Folds `other` into `self` bucket by bucket: sums and counts add,
+    /// maxima take the larger value, and `other`'s last sample wins in
+    /// every bucket it touched (merge order is "self, then other" — the
+    /// argument is the later recording).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket widths differ (the bucket grids would not
+    /// align, so per-bucket aggregation is meaningless).
+    pub fn merge(&mut self, other: &TimeSeries) {
+        assert!(
+            self.bucket == other.bucket,
+            "bucket width mismatch: {} vs {}",
+            self.bucket,
+            other.bucket
+        );
+        if other.sums.len() > self.sums.len() {
+            self.sums.resize(other.sums.len(), 0.0);
+            self.counts.resize(other.sums.len(), 0);
+            self.maxima.resize(other.sums.len(), f64::NEG_INFINITY);
+            self.lasts.resize(other.sums.len(), 0.0);
+        }
+        for i in 0..other.sums.len() {
+            if other.counts[i] == 0 {
+                continue;
+            }
+            self.sums[i] += other.sums[i];
+            self.counts[i] += other.counts[i];
+            self.maxima[i] = self.maxima[i].max(other.maxima[i]);
+            self.lasts[i] = other.lasts[i];
+        }
     }
 
     /// Bucket width.
@@ -58,6 +108,13 @@ impl TimeSeries {
     /// Returns `(bucket start, max)` for every non-empty bucket.
     pub fn maxima(&self) -> Vec<(SimTime, f64)> {
         self.iter_stat(|i| self.maxima[i])
+    }
+
+    /// Returns `(bucket start, last sample)` for every non-empty bucket
+    /// — the gauge view: each bucket reports the state it ended in,
+    /// not the average of its observations.
+    pub fn lasts(&self) -> Vec<(SimTime, f64)> {
+        self.iter_stat(|i| self.lasts[i])
     }
 
     fn iter_stat(&self, f: impl Fn(usize) -> f64) -> Vec<(SimTime, f64)> {

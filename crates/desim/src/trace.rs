@@ -249,6 +249,20 @@ impl Metrics {
         }
     }
 
+    /// Iterates `(name, value)` over every registered counter in
+    /// registration order. Registration order is deterministic, so the
+    /// telemetry flight recorder can index its per-counter series by
+    /// position.
+    pub fn counters_iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|c| (c.name, c.value))
+    }
+
+    /// Iterates `(name, current value)` over every registered gauge in
+    /// registration order.
+    pub fn gauges_iter(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.gauges.iter().map(|g| (g.name, g.last))
+    }
+
     /// Re-bases every instrument at `now`: counters return to zero,
     /// gauges keep their current value but forget their history (max
     /// and time integral restart). Called at the warm-up→measure

@@ -124,13 +124,25 @@ impl FaultScenario {
 
     /// Steady 2 % packet loss — the "congested pod" scenario. Enough
     /// that ~4 % of fetches eat at least one retransmission timeout.
+    /// One 2 ms congestion spike at t = 5 ms (half bandwidth, +4 µs
+    /// one-way latency, an extra 10 % loss) gives fault-aware policies
+    /// and SLO burn-rate tests a clean before/during/after signal.
     pub fn lossy() -> FaultScenario {
+        let spike_start = SimTime(5_000_000);
         FaultScenario {
             name: "lossy",
             loss: 0.02,
             corrupt: 0.002,
             cqe_error: 0.0,
-            episodes: Vec::new(),
+            episodes: vec![Episode {
+                start: spike_start,
+                end: spike_start + SimDuration::from_millis(2),
+                kind: EpisodeKind::LinkDegraded {
+                    extra_latency: SimDuration::from_micros(4),
+                    bw_factor: 2.0,
+                    loss: 0.10,
+                },
+            }],
         }
     }
 

@@ -26,6 +26,7 @@ fn main() {
                 trace_capacity: None,
                 spans: None,
                 faults: None,
+                telemetry: None,
             };
             let mut w = ArrayIndexWorkload::new(pages);
             let res = run_one(SystemConfig::for_kind(kind), &mut w, params);

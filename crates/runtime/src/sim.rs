@@ -18,6 +18,9 @@
 use std::collections::{HashMap, VecDeque};
 
 use desim::span::{stage, SpanBuilder, SpanConfig, SpanReport, SpanStore};
+use desim::telemetry::{
+    EpisodeNote, FlightRecorder, HealthInput, TelemetryConfig, TelemetryReport,
+};
 use desim::trace::{CounterId, GaugeId};
 use desim::{
     EventQueue, Metrics, MetricsSnapshot, NoopTracer, RingTracer, Rng, SimDuration, SimTime,
@@ -74,6 +77,14 @@ pub struct RunParams {
     /// fault injection). Seeded from [`RunParams::seed`], so a run with
     /// the same seed and scenario replays byte-identically.
     pub faults: Option<FaultScenario>,
+    /// Continuous telemetry (None = off, the zero-cost default: no tick
+    /// events enter the queue, so disabled runs replay byte-identically
+    /// to runs predating telemetry). When set, a
+    /// [`desim::telemetry::FlightRecorder`] samples every counter and
+    /// gauge each tick, scores per-QP/per-shard health, and runs the
+    /// configured SLO rules; the report lands in
+    /// [`RunResult::telemetry`].
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for RunParams {
@@ -90,6 +101,7 @@ impl Default for RunParams {
             trace_capacity: None,
             spans: None,
             faults: None,
+            telemetry: None,
         }
     }
 }
@@ -288,6 +300,11 @@ pub struct RunResult {
     /// Per-shard window accounting, one entry per configured memnode
     /// shard (a single entry on unsharded runs).
     pub shards: Vec<ShardWindow>,
+    /// Continuous-telemetry report: bucketed counter/gauge series, SLO
+    /// event log, per-QP/per-shard health trajectories, and fault
+    /// episode annotations (present when [`RunParams::telemetry`] was
+    /// set).
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl RunResult {
@@ -350,6 +367,41 @@ enum Ev {
     /// consuming it frees the QP slot on the shard's rail (the chain
     /// continued on another QP, so nothing resumes here).
     CqeRetire { shard: usize, qp: QpId },
+    /// The flight recorder takes its next sample (scheduled only when
+    /// telemetry is on; see [`RunParams::telemetry`]).
+    TelemetryTick,
+}
+
+/// Cumulative fetch accounting for one telemetry entity (a worker QP or
+/// a shard rail); the bridge diffs consecutive ticks to get rates.
+#[derive(Debug, Clone, Copy, Default)]
+struct FetchTally {
+    fetches: u64,
+    retransmits: u64,
+    errors: u64,
+}
+
+impl FetchTally {
+    fn since(&self, prev: &FetchTally) -> FetchTally {
+        FetchTally {
+            fetches: self.fetches - prev.fetches,
+            retransmits: self.retransmits - prev.retransmits,
+            errors: self.errors - prev.errors,
+        }
+    }
+}
+
+/// Glue between the simulation and the [`FlightRecorder`]: per-QP and
+/// per-shard fetch tallies (for retransmit-rate and error-chain health
+/// terms) plus the recorder itself. Health entities are registered in a
+/// fixed order — worker QPs first, then shards — and
+/// [`Simulation::on_telemetry_tick`] builds the inputs in that order.
+struct TelemBridge {
+    rec: FlightRecorder,
+    qp_tally: Vec<FetchTally>,
+    qp_prev: Vec<FetchTally>,
+    shard_tally: Vec<FetchTally>,
+    shard_prev: Vec<FetchTally>,
 }
 
 /// Per-request prefetch-pattern detector.
@@ -517,6 +569,9 @@ pub struct Simulation<'w> {
     warmup_end: SimTime,
     measure_end: SimTime,
     timeline: Option<Timeline>,
+    /// Continuous-telemetry bridge (None = telemetry off; see
+    /// [`RunParams::telemetry`]).
+    telem: Option<TelemBridge>,
 }
 
 impl<'w> Simulation<'w> {
@@ -595,6 +650,26 @@ impl<'w> Simulation<'w> {
             None => FaultPlane::inert(),
         };
 
+        // The flight recorder samples the instrument set as registered
+        // above (ids + per-shard ids), so it must be built after them.
+        // Health entities: one per worker QP, then one per shard rail.
+        let telem = params.telemetry.clone().map(|tc| {
+            let mut rec = FlightRecorder::new(tc, &metrics);
+            for w in 0..cfg.workers {
+                rec.register_health(format!("qp{w}"));
+            }
+            for s in 0..shards {
+                rec.register_health(format!("shard{s}"));
+            }
+            TelemBridge {
+                rec,
+                qp_tally: vec![FetchTally::default(); cfg.workers],
+                qp_prev: vec![FetchTally::default(); cfg.workers],
+                shard_tally: vec![FetchTally::default(); shards],
+                shard_prev: vec![FetchTally::default(); shards],
+            }
+        });
+
         Simulation {
             events: EventQueue::new(),
             eth: EthPort::new(&fabric_params),
@@ -668,6 +743,7 @@ impl<'w> Simulation<'w> {
                 queue_depth: desim::TimeSeries::new(b),
                 inflight: desim::TimeSeries::new(b),
             }),
+            telem,
             workload,
             cfg,
             params,
@@ -677,6 +753,10 @@ impl<'w> Simulation<'w> {
     /// Runs to completion and returns the results.
     pub fn run(mut self) -> RunResult {
         self.schedule_next_arrival();
+        if let Some(b) = &self.telem {
+            self.events
+                .push(SimTime::ZERO + b.rec.tick_period(), Ev::TelemetryTick);
+        }
         let drain_end = self.measure_end + SimDuration::from_millis(20);
         while let Some((now, ev)) = self.events.pop() {
             if self.start_snap.is_none() && now >= self.warmup_end {
@@ -686,6 +766,12 @@ impl<'w> Simulation<'w> {
                 self.start_snap = Some(Self::link_snapshots(&self.nics));
                 self.cache_start = Some(self.cache.stats());
                 self.metrics.reset(now);
+                if let Some(b) = &mut self.telem {
+                    // The reset zeroed every counter; re-sync the
+                    // recorder's baselines so the next tick's deltas
+                    // stay meaningful.
+                    b.rec.rebase(&self.metrics);
+                }
                 self.plane_start = self.plane.stats();
             }
             if self.end_snap.is_none() && now >= self.measure_end {
@@ -755,6 +841,45 @@ impl<'w> Simulation<'w> {
         } else {
             None
         };
+        // Annotate the telemetry report with the fault episodes that
+        // were scheduled, so breaches can be read against the injected
+        // disturbance (link episodes hit every series; node episodes
+        // are pinned to the shard whose chain the node belongs to).
+        let replicas = self.cfg.replicas();
+        let telemetry = self.telem.take().map(|b| {
+            let episodes = self
+                .params
+                .faults
+                .as_ref()
+                .map(|sc| {
+                    sc.episodes
+                        .iter()
+                        .map(|ep| {
+                            let (kind, affected) = match ep.kind {
+                                faults::EpisodeKind::LinkDegraded { .. } => {
+                                    ("link_degraded", vec!["*".to_string()])
+                                }
+                                faults::EpisodeKind::NodeStall { node, .. } => (
+                                    "node_stall",
+                                    vec![format!("shard{}", node as usize / replicas)],
+                                ),
+                                faults::EpisodeKind::NodeDown { node } => (
+                                    "node_down",
+                                    vec![format!("shard{}", node as usize / replicas)],
+                                ),
+                            };
+                            EpisodeNote {
+                                start: ep.start,
+                                end: ep.end,
+                                kind,
+                                affected,
+                            }
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            b.rec.finish(episodes)
+        });
         RunResult {
             recorder: self.recorder,
             rdma_data_util: data_util,
@@ -770,6 +895,7 @@ impl<'w> Simulation<'w> {
             timeline: self.timeline,
             spans: self.span_store.map(SpanStore::finish),
             shards: shard_windows,
+            telemetry,
         }
     }
 
@@ -921,6 +1047,81 @@ impl<'w> Simulation<'w> {
             Ev::WriteDone { shard } => self.on_write_done(now, shard),
             Ev::ReclaimTick => self.on_reclaim_tick(now),
             Ev::CqeRetire { shard, qp } => self.on_cqe_retire(now, shard, qp),
+            Ev::TelemetryTick => self.on_telemetry_tick(now),
+        }
+    }
+
+    /// One flight-recorder sample: gathers health inputs (worker QPs
+    /// first, then shard rails — the order the entities were registered
+    /// in), lets the recorder snapshot the registry and run the SLO
+    /// engine, and schedules the next tick. Read-only with respect to
+    /// simulation state, so enabling telemetry perturbs nothing but the
+    /// event queue's tie-break sequence numbers.
+    fn on_telemetry_tick(&mut self, now: SimTime) {
+        let Some(mut b) = self.telem.take() else {
+            return;
+        };
+        let qp_depth = self.cfg.fabric.qp_depth as f64;
+        let shards = self.cfg.shards();
+        let mut health = Vec::with_capacity(self.workers.len() + shards);
+        for (w, worker) in self.workers.iter().enumerate() {
+            let outstanding: u32 = self.nics.iter().map(|n| n.outstanding(worker.qp)).sum();
+            let d = b.qp_tally[w].since(&b.qp_prev[w]);
+            b.qp_prev[w] = b.qp_tally[w];
+            health.push(HealthInput {
+                outstanding: outstanding as f64,
+                // A worker QP exists on every shard rail, so its slots
+                // scale with the shard count.
+                capacity: qp_depth * shards as f64,
+                error_chains: d.errors as f64,
+                retransmit_rate: if d.fetches > 0 {
+                    d.retransmits as f64 / d.fetches as f64
+                } else {
+                    0.0
+                },
+                degraded_queue: (worker.resumes.len()
+                    + worker.local_queue.len()
+                    + usize::from(worker.blocked.is_some())) as f64,
+            });
+        }
+        for s in 0..shards {
+            let d = b.shard_tally[s].since(&b.shard_prev[s]);
+            b.shard_prev[s] = b.shard_tally[s];
+            health.push(HealthInput {
+                outstanding: self.nics[s].total_outstanding() as f64,
+                capacity: qp_depth * (self.cfg.workers + 2) as f64,
+                error_chains: d.errors as f64,
+                retransmit_rate: if d.fetches > 0 {
+                    d.retransmits as f64 / d.fetches as f64
+                } else {
+                    0.0
+                },
+                degraded_queue: self.deferred_writebacks[s].len() as f64,
+            });
+        }
+        b.rec.tick(now, &self.metrics, &health, &mut *self.tracer);
+        let next = now + b.rec.tick_period();
+        if next <= self.measure_end {
+            self.events.push(next, Ev::TelemetryTick);
+        }
+        self.telem = Some(b);
+    }
+
+    /// Tallies one fetch attempt for telemetry health scoring,
+    /// attributed to the worker QP that originated the chain and to the
+    /// shard rail it ran on (one branch when telemetry is off).
+    #[inline]
+    fn telem_fetch(&mut self, shard: usize, qp: QpId, retransmits: u64, error: bool) {
+        if let Some(b) = &mut self.telem {
+            if let Some(t) = b.qp_tally.get_mut(qp.0 as usize) {
+                t.fetches += 1;
+                t.retransmits += retransmits;
+                t.errors += u64::from(error);
+            }
+            let t = &mut b.shard_tally[shard];
+            t.fetches += 1;
+            t.retransmits += retransmits;
+            t.errors += u64::from(error);
         }
     }
 
@@ -1587,6 +1788,14 @@ impl<'w> Simulation<'w> {
                 }
             };
             self.shard_inc(shard, |s| s.fetches);
+            // Telemetry attributes every attempt of the chain to the
+            // worker QP that originated it, even after failover.
+            self.telem_fetch(
+                shard,
+                qp0,
+                completion.retransmits as u64,
+                completion.is_error(),
+            );
             if let Some((pqp, pdone)) = pending.take() {
                 // The failover post took over: the previous error CQE
                 // only needs retiring when it becomes pollable.
@@ -1722,6 +1931,7 @@ impl<'w> Simulation<'w> {
                 Ok(c) => {
                     self.metrics.inc(self.ids.prefetches);
                     self.shard_inc(ps, |s| s.fetches);
+                    self.telem_fetch(ps, qp, c.retransmits as u64, c.is_error());
                     self.trace(t, "fault", "prefetch", page, p);
                     if c.is_error() {
                         // Speculative fetches get no failover chain —
@@ -1978,6 +2188,9 @@ impl<'w> Simulation<'w> {
             }
             _ => (rx, Breakdown::default()),
         };
+        if let Some(bridge) = &mut self.telem {
+            bridge.rec.on_completion(rx.saturating_since(tx_time));
+        }
         self.recorder.complete(class, tx_time, rx, b);
         self.free_req(req);
         self.metrics.inc(self.ids.completions);
@@ -2126,6 +2339,7 @@ mod tests {
             trace_capacity: None,
             spans: None,
             faults: None,
+            telemetry: None,
         }
     }
 
@@ -2141,6 +2355,7 @@ mod tests {
             &mut w,
             RunParams {
                 faults: Some(scenario),
+                telemetry: None,
                 ..quick_params(rps)
             },
         )
@@ -2220,6 +2435,7 @@ mod tests {
             &mut w,
             RunParams {
                 faults: Some(FaultScenario::crash()),
+                telemetry: None,
                 measure: SimDuration::from_millis(20),
                 ..quick_params(400_000.0)
             },

@@ -32,6 +32,7 @@ fn main() {
                 trace_capacity: None,
                 spans: None,
                 faults: None,
+                telemetry: None,
             },
         );
         let tl = r.timeline.as_ref().expect("timeline requested");

@@ -22,6 +22,7 @@ fn main() {
         trace_capacity: Some(200_000),
         spans: Some(adios::desim::SpanConfig::with_exemplars(95.0, 32)),
         faults: None,
+        telemetry: None,
     };
     let mut w = ArrayIndexWorkload::new(16_384);
     let res = run_one(SystemConfig::adios(), &mut w, p);

@@ -33,6 +33,7 @@ fn main() {
                     trace_capacity: None,
                     spans: None,
                     faults: None,
+                    telemetry: None,
                 },
             );
             let h = result.recorder.overall();
@@ -78,6 +79,7 @@ fn main() {
                     trace_capacity: None,
                     spans: None,
                     faults: None,
+                    telemetry: None,
                 },
             );
             total += result.recorder.overall().percentile(99.9) as f64;

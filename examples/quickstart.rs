@@ -37,6 +37,7 @@ fn main() {
                 trace_capacity: None,
                 spans: None,
                 faults: None,
+                telemetry: None,
             },
         );
         let h = result.recorder.overall();

@@ -39,6 +39,7 @@ fn main() {
                 trace_capacity: None,
                 spans: None,
                 faults: None,
+                telemetry: None,
             },
         );
         let g = result.recorder.class(CLASS_GET);

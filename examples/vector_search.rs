@@ -41,6 +41,7 @@ fn main() {
                     trace_capacity: None,
                     spans: None,
                     faults: None,
+                    telemetry: None,
                 },
             );
             let h = result.recorder.overall();

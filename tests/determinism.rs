@@ -18,6 +18,7 @@ fn params(seed: u64) -> RunParams {
         trace_capacity: None,
         spans: None,
         faults: None,
+        telemetry: None,
     }
 }
 
@@ -235,6 +236,44 @@ fn sharded_runs_bitwise_reproducible() {
         jsons[0], jsons[1],
         "shard counts must not collide: routing and the per-shard block differ"
     );
+}
+
+#[test]
+fn telemetry_json_bitwise_reproducible() {
+    // The telemetry plane inherits the simulation's determinism: equal
+    // seeds must produce byte-identical telemetry JSON — series, SLO
+    // event log, health trajectories and episode annotations — both
+    // standalone and embedded in the run JSON.
+    let mut p = params(5);
+    p.faults = Some(FaultScenario::lossy());
+    p.telemetry = Some(TelemetryConfig::default());
+    let mut w1 = ArrayIndexWorkload::new(16_384);
+    let mut w2 = ArrayIndexWorkload::new(16_384);
+    let a = run_one(SystemConfig::adios(), &mut w1, p.clone());
+    let b = run_one(SystemConfig::adios(), &mut w2, p.clone());
+    let (ta, tb) = (a.telemetry.as_ref().unwrap(), b.telemetry.as_ref().unwrap());
+    assert!(ta.ticks > 0, "recorder must have sampled");
+    assert_eq!(ta.events, tb.events, "SLO event logs must match");
+    assert_eq!(
+        ta.to_json(),
+        tb.to_json(),
+        "equal seeds must serialise identical telemetry JSON"
+    );
+    assert_eq!(ta.perfetto_json(), tb.perfetto_json());
+    assert_eq!(ta.series_csv(), tb.series_csv());
+    let ja = adios::core_api::run_json(&a);
+    assert!(
+        ja.contains("\"telemetry\":{\"tick_ns\":100000,"),
+        "run JSON must embed the telemetry block"
+    );
+    assert_eq!(ja, adios::core_api::run_json(&b));
+
+    // A different seed must not collide.
+    let mut w3 = ArrayIndexWorkload::new(16_384);
+    let mut p2 = p.clone();
+    p2.seed = 6;
+    let c = run_one(SystemConfig::adios(), &mut w3, p2);
+    assert_ne!(ta.to_json(), c.telemetry.as_ref().unwrap().to_json());
 }
 
 /// FNV-1a 64 over a byte string (no dependency needed).

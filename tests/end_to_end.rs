@@ -17,6 +17,7 @@ fn params(rps: f64) -> RunParams {
         trace_capacity: None,
         spans: None,
         faults: None,
+        telemetry: None,
     }
 }
 

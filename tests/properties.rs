@@ -262,6 +262,7 @@ fn conservation_under_faults() {
                 measure: SimDuration::from_millis(8),
                 local_mem_fraction: 0.2,
                 faults: Some(scenario.clone()),
+                telemetry: None,
                 ..Default::default()
             },
         );
@@ -310,6 +311,7 @@ fn crash_faults_account_for_every_request() {
                 measure: SimDuration::from_millis(27),
                 local_mem_fraction: 0.2,
                 faults: Some(FaultScenario::crash()),
+                telemetry: None,
                 ..Default::default()
             },
         )
@@ -373,6 +375,7 @@ fn sharded_counters_sum_to_run_totals() {
                 measure: SimDuration::from_millis(12),
                 local_mem_fraction: 0.2,
                 faults: Some(scenario.clone()),
+                telemetry: None,
                 ..Default::default()
             },
         );
@@ -428,6 +431,7 @@ fn sharded_crash_partitions_errors_per_shard() {
             measure: SimDuration::from_millis(27),
             local_mem_fraction: 0.2,
             faults: Some(FaultScenario::crash()),
+            telemetry: None,
             ..Default::default()
         },
     );
@@ -473,5 +477,172 @@ fn app_traces_always_complete() {
         );
         assert_eq!(r.recorder.dropped(), 0, "seed {seed}");
         assert!(r.recorder.completed_in_window() > 500, "seed {seed}");
+    }
+}
+
+/// Telemetry time series keep their bucket accounting honest under
+/// randomized sample streams: bucket starts are aligned to the bucket
+/// width, every sample lands in the bucket `floor(t / width)`, and the
+/// per-bucket mean never exceeds the per-bucket maximum.
+#[test]
+fn time_series_buckets_are_aligned_and_ordered() {
+    use adios::desim::TimeSeries;
+    let mut gen = Rng::new(0xA11C);
+    for case in 0..16 {
+        let bucket = SimDuration::from_micros(1 + gen.gen_range(500));
+        let mut series = TimeSeries::new(bucket);
+        let mut expected = std::collections::BTreeSet::new();
+        let n = 1 + gen.gen_range(200) as usize;
+        for _ in 0..n {
+            let t = SimTime(gen.gen_range(bucket.0 * 64));
+            let v = gen.gen_f64() * 1_000.0 - 200.0;
+            series.record(t, v);
+            expected.insert(t.0 / bucket.0 * bucket.0);
+        }
+        let ctx = format!("case {case} bucket {bucket}");
+        assert_eq!(series.samples(), n as u64, "{ctx}");
+        let means = series.means();
+        let maxima = series.maxima();
+        assert_eq!(means.len(), maxima.len(), "{ctx}");
+        assert_eq!(
+            means.iter().map(|(t, _)| t.0).collect::<Vec<_>>(),
+            expected.iter().copied().collect::<Vec<_>>(),
+            "{ctx}: non-empty buckets must be exactly the sampled ones"
+        );
+        for ((t, mean), (tm, max)) in means.iter().zip(&maxima) {
+            assert_eq!(t, tm, "{ctx}");
+            assert_eq!(t.0 % bucket.0, 0, "{ctx}: bucket start unaligned");
+            assert!(mean <= max, "{ctx}: mean {mean} > max {max} at {t}");
+        }
+    }
+}
+
+/// Merging two series is indistinguishable (means, maxima, sample
+/// counts) from recording the union of their samples into one series.
+#[test]
+fn time_series_merge_conserves_samples() {
+    use adios::desim::TimeSeries;
+    let mut gen = Rng::new(0x5E21);
+    for case in 0..16 {
+        let bucket = SimDuration::from_micros(1 + gen.gen_range(100));
+        let mut a = TimeSeries::new(bucket);
+        let mut b = TimeSeries::new(bucket);
+        let mut combined = TimeSeries::new(bucket);
+        for _ in 0..gen.gen_range(150) {
+            let t = SimTime(gen.gen_range(bucket.0 * 48));
+            let v = gen.gen_f64() * 50.0;
+            a.record(t, v);
+            combined.record(t, v);
+        }
+        for _ in 0..gen.gen_range(150) {
+            let t = SimTime(gen.gen_range(bucket.0 * 48));
+            let v = gen.gen_f64() * 50.0;
+            b.record(t, v);
+            combined.record(t, v);
+        }
+        let ctx = format!("case {case} bucket {bucket}");
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.samples(), a.samples() + b.samples(), "{ctx}");
+        assert_eq!(merged.samples(), combined.samples(), "{ctx}");
+        // Maxima are order-independent and must match exactly; means
+        // may differ by rounding since merge adds bucket sums in a
+        // different order than sequential recording.
+        assert_eq!(merged.maxima(), combined.maxima(), "{ctx}: maxima diverge");
+        let (m, c) = (merged.means(), combined.means());
+        assert_eq!(m.len(), c.len(), "{ctx}");
+        for ((tm, vm), (tc, vc)) in m.iter().zip(&c) {
+            assert_eq!(tm, tc, "{ctx}");
+            assert!(
+                (vm - vc).abs() <= 1e-9 * vc.abs().max(1.0),
+                "{ctx}: mean {vm} vs {vc} at {tm}"
+            );
+        }
+    }
+}
+
+/// SLO breach intervals reported by the telemetry plane are well
+/// formed — per rule the events alternate begin/end starting with a
+/// begin, every interval is non-empty, intervals never overlap — and
+/// they agree with the exported burn-rate series: the quantised burn
+/// is >= 1.0 exactly at ticks inside a breach interval.
+#[test]
+fn slo_breach_intervals_are_well_formed_and_match_burn_series() {
+    use adios::desim::{parse_slo_spec, SloEventKind, TelemetryConfig};
+    let mut wl = ArrayIndexWorkload::new(16_384);
+    let r = run_one(
+        SystemConfig::adios(),
+        &mut wl,
+        RunParams {
+            offered_rps: 800_000.0,
+            seed: 7,
+            warmup: SimDuration::from_millis(1),
+            measure: SimDuration::from_millis(12),
+            local_mem_fraction: 0.2,
+            keep_breakdowns: false,
+            burst: None,
+            timeline_bucket: None,
+            faults: Some(FaultScenario::lossy()),
+            telemetry: Some(TelemetryConfig {
+                tick: SimDuration::from_micros(100),
+                rules: parse_slo_spec("lat<20us:0.05@1ms").unwrap(),
+            }),
+            ..Default::default()
+        },
+    );
+    let report = r.telemetry.expect("telemetry was enabled");
+    assert!(report.ticks > 0);
+    assert!(
+        !report.events.is_empty(),
+        "the lossy episode must trip at least one breach"
+    );
+
+    for (i, _rule) in report.rules.iter().enumerate() {
+        let events: Vec<_> = report.events.iter().filter(|e| e.rule == i).collect();
+        let mut intervals: Vec<(SimTime, Option<SimTime>)> = Vec::new();
+        for e in &events {
+            match e.kind {
+                SloEventKind::BreachBegin => {
+                    assert!(
+                        intervals.last().is_none_or(|(_, end)| end.is_some()),
+                        "rule {i}: begin at {} while a breach is already open",
+                        e.at
+                    );
+                    intervals.push((e.at, None));
+                }
+                SloEventKind::BreachEnd => {
+                    let open = intervals
+                        .last_mut()
+                        .unwrap_or_else(|| panic!("rule {i}: end at {} before any begin", e.at));
+                    assert!(
+                        open.1.is_none(),
+                        "rule {i}: end at {} without a begin",
+                        e.at
+                    );
+                    assert!(open.0 < e.at, "rule {i}: empty breach interval at {}", e.at);
+                    open.1 = Some(e.at);
+                }
+            }
+        }
+        for pair in intervals.windows(2) {
+            let prev_end = pair[0].1.expect("only the last interval may stay open");
+            assert!(
+                prev_end <= pair[1].0,
+                "rule {i}: overlapping breach intervals"
+            );
+        }
+
+        // Agreement with the exported burn series: in-breach ticks are
+        // exactly the ticks where the quantised burn reads >= 1.0.
+        for (t, burn) in report.burn_series(i).lasts() {
+            let in_breach = intervals
+                .iter()
+                .any(|(begin, end)| *begin <= t && end.is_none_or(|end| t < end));
+            assert_eq!(
+                burn >= 1.0,
+                in_breach,
+                "rule {i}: burn {burn} at {t} disagrees with breach intervals"
+            );
+        }
     }
 }
