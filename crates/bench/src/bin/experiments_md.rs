@@ -46,9 +46,17 @@ flags:
                      counter/gauge series, per-QP/per-shard health
                      scores and SLO breach events; writes
                      <out-dir>/telemetry_<system>.{json,csv},
-                     health_<system>.csv, slo_events_<system>.csv,
-                     perfetto_counters_<system>.json, and a
-                     BENCH_adios.json perf baseline in the cwd
+                     health_<system>.csv, slo_events_<system>.csv and
+                     perfetto_counters_<system>.json
+  --bench            capture the perf baseline: saturating Adios runs
+                     over a long simulated horizon, repeated with
+                     distinct seeds; writes BENCH_adios.json in the cwd
+                     (median wall-clock + median peak simulated RPS +
+                     repeat spread)
+  --bench-repeats N  repeats for --bench (default 5, minimum 5)
+  --bench-horizon-ms N
+                     simulated measure horizon per repeat in ms for
+                     --bench (default 2000, minimum 2000)
   --tick <us>        telemetry sampling period in microseconds
                      (default 100; implies --telemetry)
   --slo <spec>       comma-separated SLO rules (implies --telemetry):
@@ -71,6 +79,9 @@ struct Cli {
     slo: Option<Vec<desim::SloRule>>,
     seed: Option<u64>,
     out_dir: PathBuf,
+    bench: bool,
+    bench_repeats: usize,
+    bench_horizon_ms: u64,
 }
 
 impl Cli {
@@ -102,6 +113,9 @@ fn parse_args(args: &[String]) -> Cli {
         slo: None,
         seed: None,
         out_dir: PathBuf::from("results"),
+        bench: false,
+        bench_repeats: 5,
+        bench_horizon_ms: 2_000,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -157,6 +171,32 @@ fn parse_args(args: &[String]) -> Cli {
                 cli.shards = Some(n);
             }
             "--telemetry" => cli.telemetry = true,
+            "--bench" => cli.bench = true,
+            "--bench-repeats" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("--bench-repeats requires a value"));
+                cli.bench_repeats = v
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("invalid --bench-repeats value: {v}")));
+                // Median-of-<5 is too noisy to gate a perf trajectory on.
+                if cli.bench_repeats < 5 {
+                    die("--bench-repeats must be at least 5");
+                }
+                cli.bench = true;
+            }
+            "--bench-horizon-ms" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("--bench-horizon-ms requires a value"));
+                cli.bench_horizon_ms = v
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("invalid --bench-horizon-ms value: {v}")));
+                if cli.bench_horizon_ms < 2_000 {
+                    die("--bench-horizon-ms must be at least 2000 (sub-2s runs are noise)");
+                }
+                cli.bench = true;
+            }
             "--tick" => {
                 let v = it.next().unwrap_or_else(|| die("--tick requires a value"));
                 cli.tick_us = v
@@ -427,21 +467,92 @@ fn smoke_mode(cli: &Cli) {
         }
     }
     if cli.telemetry {
-        // Perf baseline for the bench trajectory: wall-clock of the
-        // whole smoke sweep plus the best achieved RPS across systems.
-        let bench = format!(
-            "{{\"name\":\"adios_telemetry_smoke\",\"wall_clock_s\":{:.3},\"peak_rps\":{:.3}}}\n",
+        // The smoke sweep is far too short to gate perf on; it only
+        // reports its own timing. The baseline comes from --bench.
+        println!(
+            "smoke sweep took {:.3} s wall-clock (best achieved {:.0} rps); \
+             run --bench for a gateable baseline",
             wall_start.elapsed().as_secs_f64(),
             peak_rps
         );
-        std::fs::write("BENCH_adios.json", bench).expect("write BENCH_adios.json");
-        println!("wrote BENCH_adios.json");
     }
+}
+
+/// Sorted-copy median (len must be non-zero).
+fn median(xs: &[f64]) -> f64 {
+    let mut s = xs.to_vec();
+    s.sort_by(f64::total_cmp);
+    s[s.len() / 2]
+}
+
+/// Perf-baseline capture: repeated saturating Adios runs over a long
+/// simulated horizon, each with a distinct seed.
+///
+/// The offered load sits far past the Adios saturation point, so the
+/// achieved (simulated) RPS measures the modelled system's capacity —
+/// a machine-independent number the CI perf gate can compare across
+/// runners. Wall-clock tracks the simulator engine's own speed on this
+/// machine; the repeat spread is recorded so a gate can tell signal
+/// from noise.
+fn bench_mode(cli: &Cli) {
+    // ~2× the modelled saturation point: deep overload, so achieved
+    // RPS reads capacity, not offered load.
+    let offered = 5_000_000.0;
+    let horizon = SimDuration::from_millis(cli.bench_horizon_ms);
+    let seed0 = cli.seed.unwrap_or(1);
+    let mut walls: Vec<f64> = Vec::new();
+    let mut rpss: Vec<f64> = Vec::new();
+    println!(
+        "bench: {} repeats × {:.1} s simulated horizon, offered {offered:.0} rps",
+        cli.bench_repeats,
+        cli.bench_horizon_ms as f64 / 1e3,
+    );
+    for i in 0..cli.bench_repeats {
+        let mut workload = ArrayIndexWorkload::new(16_384);
+        let params = RunParams {
+            offered_rps: offered,
+            seed: seed0 + i as u64,
+            warmup: SimDuration::from_millis(100),
+            measure: horizon,
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        let res = run_one(SystemConfig::adios(), &mut workload, params);
+        let wall = t0.elapsed().as_secs_f64();
+        let rps = res.recorder.achieved_rps();
+        println!("  repeat {i}: {wall:.3} s wall, {rps:.0} achieved simulated rps");
+        walls.push(wall);
+        rpss.push(rps);
+    }
+    let min = |xs: &[f64]| xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = |xs: &[f64]| xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    // `wall_clock_s` and `peak_rps` stay top-level scalars: CI gates
+    // key on exactly those names.
+    let bench = format!(
+        "{{\"name\":\"adios_saturation\",\"repeats\":{},\"horizon_s\":{:.3},\
+         \"offered_rps\":{offered:.1},\
+         \"wall_clock_s\":{:.3},\"wall_clock_min_s\":{:.3},\"wall_clock_max_s\":{:.3},\
+         \"peak_rps\":{:.3},\"peak_rps_min\":{:.3},\"peak_rps_max\":{:.3}}}\n",
+        cli.bench_repeats,
+        cli.bench_horizon_ms as f64 / 1e3,
+        median(&walls),
+        min(&walls),
+        max(&walls),
+        median(&rpss),
+        min(&rpss),
+        max(&rpss),
+    );
+    std::fs::write("BENCH_adios.json", &bench).expect("write BENCH_adios.json");
+    print!("wrote BENCH_adios.json: {bench}");
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = parse_args(&args);
+    if cli.bench {
+        bench_mode(&cli);
+        return;
+    }
     if cli.smoke() {
         smoke_mode(&cli);
         return;

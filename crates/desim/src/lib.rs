@@ -6,9 +6,11 @@
 //! - [`SimTime`] / [`SimDuration`] — nanosecond-resolution simulated time,
 //!   with conversions to CPU cycles at the testbed clock rate (2 GHz, the
 //!   Intel Xeon Gold 6330 of the paper's compute node).
-//! - [`EventQueue`] — a total-order event queue. Ties in timestamps are
-//!   broken by insertion sequence number, so a simulation run is a pure
-//!   function of its inputs and seed.
+//! - [`EventQueue`] — a total-order event queue backed by a hierarchical
+//!   timing wheel. Ties in timestamps are broken by insertion order, so
+//!   a simulation run is a pure function of its inputs and seed.
+//! - [`fxhash`] — an unkeyed, deterministic hasher ([`FxHashMap`]) for
+//!   hot-path lookups that don't need SipHash's DoS resistance.
 //! - [`Rng`] — a small, seedable xoshiro256** generator (no external
 //!   dependency, so results never change under a dependency bump), with
 //!   samplers for the distributions the experiments need (uniform,
@@ -27,6 +29,7 @@
 //!   burn-rate engine emitting typed [`SloEvent`]s into the trace ring.
 
 pub mod event;
+pub mod fxhash;
 pub mod hist;
 pub mod rng;
 pub mod series;
@@ -36,6 +39,7 @@ pub mod time;
 pub mod trace;
 
 pub use event::EventQueue;
+pub use fxhash::{FxHashMap, FxHashSet};
 pub use hist::Histogram;
 pub use rng::Rng;
 pub use series::TimeSeries;

@@ -351,6 +351,10 @@ pub struct FlightRecorder {
     states: Vec<RuleState>,
     counter_names: Vec<&'static str>,
     counter_prev: Vec<u64>,
+    /// Counts banked by [`FlightRecorder::bank`] across a registry
+    /// reset, folded into the next tick's deltas so the partial period
+    /// before the reset is not dropped from the rate series.
+    counter_carry: Vec<u64>,
     counter_series: Vec<TimeSeries>,
     gauge_names: Vec<&'static str>,
     gauge_series: Vec<TimeSeries>,
@@ -411,6 +415,7 @@ impl FlightRecorder {
             completions_idx: counter_names.iter().position(|&n| n == "completions"),
             queue_idx: gauge_names.iter().position(|&n| n == "queue_depth"),
             counter_names,
+            counter_carry: vec![0; counter_prev.len()],
             counter_prev,
             gauge_names,
             health_names: Vec::new(),
@@ -450,9 +455,24 @@ impl FlightRecorder {
         }
     }
 
+    /// Banks the not-yet-sampled counter deltas (everything accrued
+    /// since the previous tick). Call immediately **before** a
+    /// [`Metrics::reset`]: the reset lowers every counter below the
+    /// recorder's baseline, and without banking, `tick`'s saturating
+    /// subtraction would silently clamp the partial period to zero —
+    /// under-reporting every rate series at the warm-up boundary.
+    /// The banked counts are folded into the next tick's deltas.
+    pub fn bank(&mut self, metrics: &Metrics) {
+        for (i, (_, v)) in metrics.counters_iter().enumerate() {
+            self.counter_carry[i] += v.saturating_sub(self.counter_prev[i]);
+        }
+    }
+
     /// Re-synchronises counter baselines after a [`Metrics::reset`]
     /// (the warm-up → measure boundary), so the first post-reset tick
-    /// does not read a bogus delta.
+    /// does not read a bogus delta. Pair with [`FlightRecorder::bank`]
+    /// before the reset, or the partial tick period preceding the
+    /// boundary is lost.
     pub fn rebase(&mut self, metrics: &Metrics) {
         for (i, (_, v)) in metrics.counters_iter().enumerate() {
             self.counter_prev[i] = v;
@@ -481,7 +501,8 @@ impl FlightRecorder {
         let mut drops_delta = 0u64;
         let mut completions_delta = 0u64;
         for (i, (_, v)) in metrics.counters_iter().enumerate() {
-            let d = v.saturating_sub(self.counter_prev[i]);
+            let d =
+                v.saturating_sub(self.counter_prev[i]) + std::mem::take(&mut self.counter_carry[i]);
             self.counter_prev[i] = v;
             self.counter_series[i].record(now, d as f64);
             if Some(i) == self.drops_idx {
@@ -1005,13 +1026,59 @@ mod tests {
         m.add(c, 7);
         rec.tick(SimTime(10_000), &m, &[], &mut tracer);
         m.add(c, 3);
-        m.reset(SimTime(15_000)); // warm-up boundary zeroes the counter
+        // Warm-up boundary: bank the 3 not-yet-sampled counts, zero
+        // the registry, re-sync the baselines.
+        rec.bank(&m);
+        m.reset(SimTime(15_000));
         rec.rebase(&m);
         m.add(c, 4);
         rec.tick(SimTime(20_000), &m, &[], &mut tracer);
         let rep = rec.finish(Vec::new());
         let pts = rep.counter_series("work").unwrap().means();
-        assert_eq!(pts, vec![(SimTime(10_000), 7.0), (SimTime(20_000), 4.0)]);
+        // Second tick: 4 counted after the reset + the 3 banked across
+        // it — the full period, not a clamped partial.
+        assert_eq!(pts, vec![(SimTime(10_000), 7.0), (SimTime(20_000), 7.0)]);
+    }
+
+    /// Regression: a `Metrics::reset` between ticks lowers every
+    /// counter below the recorder's baseline; the saturating delta
+    /// then silently clamps the pre-reset tail to zero unless it is
+    /// banked. Conservation must hold across the boundary: the series
+    /// total equals every count ever added.
+    #[test]
+    fn rebase_boundary_conserves_counts() {
+        let mut m = Metrics::new();
+        let c = m.counter("work");
+        let cfg = TelemetryConfig {
+            tick: SimDuration::from_micros(10),
+            rules: default_rules(),
+        };
+        let mut rec = FlightRecorder::new(cfg, &m);
+        let mut tracer = NoopTracer;
+        let mut added = 0u64;
+        for i in 0..10u64 {
+            m.add(c, 5 + i);
+            added += 5 + i;
+            // Reset mid-stream every third tick, like the warm-up
+            // boundary does (but misaligned with the tick grid).
+            if i == 3 || i == 7 {
+                m.add(c, 2);
+                added += 2;
+                rec.bank(&m);
+                m.reset(SimTime(i * 10_000 + 5_000));
+                rec.rebase(&m);
+            }
+            rec.tick(SimTime((i + 1) * 10_000), &m, &[], &mut tracer);
+        }
+        let rep = rec.finish(Vec::new());
+        let total: f64 = rep
+            .counter_series("work")
+            .unwrap()
+            .means()
+            .iter()
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(total as u64, added, "counts lost across rebase");
     }
 
     #[test]

@@ -27,6 +27,8 @@
 //! they bypass the WQE-engine and link FIFO heads (which were already
 //! charged at post time) and only account wasted wire bytes.
 
+use std::rc::Rc;
+
 use desim::{SimDuration, SimTime};
 use faults::{FaultPlane, NodeHealth};
 
@@ -124,7 +126,10 @@ pub struct OccupancySnapshot {
 /// The compute-node RNIC together with the RDMA link to the memory node.
 #[derive(Debug, Clone)]
 pub struct RdmaNic {
-    params: FabricParams,
+    /// Shared, immutable cost constants: the runtime builds one NIC
+    /// rail per memnode shard, and all rails reference one allocation
+    /// instead of each carrying a private copy.
+    params: Rc<FabricParams>,
     engine_free: SimTime,
     qps: Vec<Qp>,
     /// Compute → memory direction (READ requests, WRITE data).
@@ -145,7 +150,12 @@ pub struct RdmaNic {
 impl RdmaNic {
     /// Creates a NIC with `num_qps` queue pairs; QP *i* initially
     /// completes into CQ *i*.
-    pub fn new(params: FabricParams, num_qps: u32) -> RdmaNic {
+    ///
+    /// Accepts either owned [`FabricParams`] or a pre-shared
+    /// `Rc<FabricParams>`; multiple rails built from the same `Rc`
+    /// share one parameter allocation.
+    pub fn new(params: impl Into<Rc<FabricParams>>, num_qps: u32) -> RdmaNic {
+        let params = params.into();
         RdmaNic {
             to_remote: Link::new(&params),
             from_remote: Link::new(&params),

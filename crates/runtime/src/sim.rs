@@ -15,7 +15,8 @@
 //! by one segment length and is far below the latency scales the paper
 //! reports.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+use std::rc::Rc;
 
 use desim::span::{stage, SpanBuilder, SpanConfig, SpanReport, SpanStore};
 use desim::telemetry::{
@@ -23,8 +24,8 @@ use desim::telemetry::{
 };
 use desim::trace::{CounterId, GaugeId};
 use desim::{
-    EventQueue, Metrics, MetricsSnapshot, NoopTracer, RingTracer, Rng, SimDuration, SimTime,
-    TraceEvent, Tracer,
+    EventQueue, FxHashMap, Metrics, MetricsSnapshot, NoopTracer, RingTracer, Rng, SimDuration,
+    SimTime, TraceEvent, Tracer,
 };
 use fabric::link::Link;
 use fabric::nic::Verb;
@@ -510,6 +511,19 @@ impl Arrivals {
     }
 }
 
+/// Bits of [`Simulation::obs_mask`]: which optional observability
+/// layers are enabled for this run.
+mod obs {
+    /// Virtual-time event tracing ([`RunParams::trace_capacity`]).
+    ///
+    /// [`RunParams::trace_capacity`]: super::RunParams::trace_capacity
+    pub const TRACE: u8 = 1 << 0;
+    /// The span layer ([`RunParams::spans`] or kept breakdowns).
+    ///
+    /// [`RunParams::spans`]: super::RunParams::spans
+    pub const SPANS: u8 = 1 << 1;
+}
+
 /// One compute node + memory node + load generator, ready to run.
 pub struct Simulation<'w> {
     cfg: SystemConfig,
@@ -539,12 +553,20 @@ pub struct Simulation<'w> {
     rng: Rng,
     reqs: Vec<Option<Req>>,
     free_reqs: Vec<usize>,
+    /// Retired requests' step buffers, recycled through
+    /// [`Workload::next_request_into`] so steady-state arrivals perform
+    /// no per-request trace allocation.
+    trace_pool: Vec<Trace>,
+    /// Observability feature mask ([`obs`]): resolved once at
+    /// construction so disabled layers cost one integer test per
+    /// emission site instead of a virtual call or `Option` chain.
+    obs_mask: u8,
     workers: Vec<Worker>,
     pending: VecDeque<usize>,
     rr_next: usize,
     dispatcher_free: SimTime,
     admission_backlog: usize,
-    inflight: HashMap<u64, Inflight>,
+    inflight: FxHashMap<u64, Inflight>,
     /// Per-shard dirty pages whose write-back is waiting for that
     /// shard's reclaimer-QP slot.
     deferred_writebacks: Vec<VecDeque<u64>>,
@@ -586,7 +608,7 @@ impl<'w> Simulation<'w> {
     pub fn new(
         cfg: SystemConfig,
         workload: &'w mut dyn Workload,
-        params: RunParams,
+        mut params: RunParams,
     ) -> Simulation<'w> {
         assert!(
             params.local_mem_fraction > 0.0 && params.local_mem_fraction <= 1.0,
@@ -613,7 +635,9 @@ impl<'w> Simulation<'w> {
 
         let warmup_end = SimTime::ZERO + params.warmup;
         let measure_end = warmup_end + params.measure;
-        let fabric_params: FabricParams = cfg.fabric.clone();
+        // One shared allocation for the fabric cost constants: every
+        // NIC rail references it instead of carrying a private copy.
+        let fabric_params: Rc<FabricParams> = Rc::new(cfg.fabric.clone());
         let workers = (0..cfg.workers)
             .map(|i| Worker {
                 busy: false,
@@ -645,7 +669,9 @@ impl<'w> Simulation<'w> {
         };
         let shard_map = ShardMap::new(shards, replicas, total_pages, cfg.shard_policy);
 
-        let plane = match params.faults.clone() {
+        // The scenario and telemetry configs are consumed, not cloned:
+        // neither is read again after construction.
+        let plane = match params.faults.take() {
             Some(s) => FaultPlane::new(s, params.seed ^ 0xFA17_1A7E_0000_0001),
             None => FaultPlane::inert(),
         };
@@ -653,7 +679,7 @@ impl<'w> Simulation<'w> {
         // The flight recorder samples the instrument set as registered
         // above (ids + per-shard ids), so it must be built after them.
         // Health entities: one per worker QP, then one per shard rail.
-        let telem = params.telemetry.clone().map(|tc| {
+        let telem = params.telemetry.take().map(|tc| {
             let mut rec = FlightRecorder::new(tc, &metrics);
             for w in 0..cfg.workers {
                 rec.register_health(format!("qp{w}"));
@@ -669,6 +695,24 @@ impl<'w> Simulation<'w> {
                 shard_prev: vec![FetchTally::default(); shards],
             }
         });
+
+        let tracer: Box<dyn Tracer> = match params.trace_capacity {
+            Some(cap) => Box::new(RingTracer::new(cap)),
+            None => Box::new(NoopTracer),
+        };
+        // Breakdowns are derived from span trees, so keeping them
+        // implies the span layer (stats-only: the recorder holds the
+        // per-request rows itself).
+        let span_store = params
+            .spans
+            .or(if params.keep_breakdowns {
+                Some(SpanConfig::stats_only())
+            } else {
+                None
+            })
+            .map(SpanStore::new);
+        let obs_mask = (if tracer.enabled() { obs::TRACE } else { 0 })
+            | (if span_store.is_some() { obs::SPANS } else { 0 });
 
         Simulation {
             events: EventQueue::new(),
@@ -703,12 +747,14 @@ impl<'w> Simulation<'w> {
             rng,
             reqs: Vec::new(),
             free_reqs: Vec::new(),
+            trace_pool: Vec::new(),
+            obs_mask,
             workers,
             pending: VecDeque::new(),
             rr_next: 0,
             dispatcher_free: SimTime::ZERO,
             admission_backlog: 0,
-            inflight: HashMap::new(),
+            inflight: FxHashMap::default(),
             deferred_writebacks: vec![VecDeque::new(); shards],
             reclaim_state: ReclaimState::Idle,
             gen_end: measure_end,
@@ -716,21 +762,8 @@ impl<'w> Simulation<'w> {
             ids,
             shard_ids,
             shard_fetch_ns: vec![desim::Histogram::new(); shards],
-            tracer: match params.trace_capacity {
-                Some(cap) => Box::new(RingTracer::new(cap)),
-                None => Box::new(NoopTracer),
-            },
-            // Breakdowns are derived from span trees, so keeping them
-            // implies the span layer (stats-only: the recorder holds
-            // the per-request rows itself).
-            span_store: params
-                .spans
-                .or(if params.keep_breakdowns {
-                    Some(SpanConfig::stats_only())
-                } else {
-                    None
-                })
-                .map(SpanStore::new),
+            tracer,
+            span_store,
             start_snap: None,
             end_snap: None,
             cache_start: None,
@@ -765,6 +798,12 @@ impl<'w> Simulation<'w> {
                 // measurement window.
                 self.start_snap = Some(Self::link_snapshots(&self.nics));
                 self.cache_start = Some(self.cache.stats());
+                if let Some(b) = &mut self.telem {
+                    // Bank the counts accrued since the last tick:
+                    // the imminent reset would otherwise drop them
+                    // from every rate series.
+                    b.rec.bank(&self.metrics);
+                }
                 self.metrics.reset(now);
                 if let Some(b) = &mut self.telem {
                     // The reset zeroed every counter; re-sync the
@@ -957,11 +996,11 @@ impl<'w> Simulation<'w> {
         self.metrics_snap = Some(self.metrics.snapshot(now));
     }
 
-    /// Records a trace event if tracing is enabled (one branch when
-    /// disabled).
+    /// Records a trace event if tracing is enabled (one integer test —
+    /// no virtual call — when disabled).
     #[inline]
     fn trace(&mut self, at: SimTime, component: &'static str, name: &'static str, a: u64, b: u64) {
-        if self.tracer.enabled() {
+        if self.obs_mask & obs::TRACE != 0 {
             self.tracer.record(TraceEvent {
                 at,
                 component,
@@ -979,7 +1018,9 @@ impl<'w> Simulation<'w> {
         if tx >= self.gen_end {
             return;
         }
-        let trace = self.workload.next_request(&mut self.rng);
+        // Recycle a retired request's step buffer when one is free.
+        let mut trace = self.trace_pool.pop().unwrap_or_default();
+        self.workload.next_request_into(&mut self.rng, &mut trace);
         let req_bytes = trace.request_bytes;
         let id = self.alloc_req(trace, tx);
         let delivered = self.eth.deliver_request(tx, req_bytes);
@@ -1009,7 +1050,13 @@ impl<'w> Simulation<'w> {
     }
 
     fn free_req(&mut self, id: usize) {
-        self.reqs[id] = None;
+        if let Some(req) = self.reqs[id].take() {
+            // Bound the pool so a transient burst doesn't pin its
+            // high-water mark of step buffers forever.
+            if self.trace_pool.len() < 4_096 {
+                self.trace_pool.push(req.trace);
+            }
+        }
         self.free_reqs.push(id);
     }
 
@@ -1017,10 +1064,14 @@ impl<'w> Simulation<'w> {
         self.reqs[id].as_mut().expect("dangling request id")
     }
 
-    /// The request's span builder, if the span layer is on (one branch
-    /// when off — mirrors [`Simulation::trace`]).
+    /// The request's span builder, if the span layer is on (one integer
+    /// test when off, before any request-slot load — mirrors
+    /// [`Simulation::trace`]).
     #[inline]
     fn sb(&mut self, id: usize) -> Option<&mut SpanBuilder> {
+        if self.obs_mask & obs::SPANS == 0 {
+            return None;
+        }
         self.reqs[id]
             .as_mut()
             .expect("dangling request id")
@@ -1279,7 +1330,7 @@ impl<'w> Simulation<'w> {
 
     fn on_worker_wake(&mut self, now: SimTime, w: usize, cont: Cont) {
         debug_assert!(self.workers[w].busy, "wake of an idle worker");
-        if self.tracer.enabled() {
+        if self.obs_mask & obs::TRACE != 0 {
             // Segment boundary: the worker (re-)enters an execution
             // segment; `a` = worker, `b` = request.
             let (name, req) = match cont {

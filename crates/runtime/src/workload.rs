@@ -18,6 +18,19 @@ pub trait Workload {
     /// Produces the next request's trace.
     fn next_request(&mut self, rng: &mut Rng) -> Trace;
 
+    /// Produces the next request's trace into `buf`, reusing its step
+    /// storage. Must draw from `rng` exactly like [`next_request`]
+    /// (the simulator recycles retired requests' traces through this
+    /// path, and determinism depends on an identical draw sequence).
+    ///
+    /// The default delegates to [`next_request`]; hot workloads
+    /// override it to skip the per-request allocation.
+    ///
+    /// [`next_request`]: Workload::next_request
+    fn next_request_into(&mut self, rng: &mut Rng, buf: &mut Trace) {
+        *buf = self.next_request(rng);
+    }
+
     /// Pages that should be resident at steady state, used to warm the
     /// cache; `None` (default) means a uniform random sample.
     fn warm_pages(&self) -> Option<Vec<u64>> {
@@ -83,6 +96,22 @@ impl Workload for ArrayIndexWorkload {
             request_bytes: self.request_bytes,
             reply_bytes: self.reply_bytes,
         }
+    }
+
+    fn next_request_into(&mut self, rng: &mut Rng, buf: &mut Trace) {
+        let page = rng.gen_range(self.total_pages);
+        buf.class = 0;
+        buf.request_bytes = self.request_bytes;
+        buf.reply_bytes = self.reply_bytes;
+        buf.steps.clear();
+        buf.steps.push(Step {
+            compute_ns: self.parse_ns as u32,
+            access: Some(Access { page, write: false }),
+        });
+        buf.steps.push(Step {
+            compute_ns: self.reply_ns as u32,
+            access: None,
+        });
     }
 }
 
@@ -151,6 +180,26 @@ impl Workload for StridedWorkload {
             reply_bytes: 64,
         }
     }
+
+    fn next_request_into(&mut self, rng: &mut Rng, buf: &mut Trace) {
+        let span = self.stride * self.touches as u64;
+        let start = rng.gen_range(self.total_pages - span);
+        buf.class = 0;
+        buf.request_bytes = 32;
+        buf.reply_bytes = 64;
+        buf.steps.clear();
+        buf.steps.extend((0..self.touches).map(|i| Step {
+            compute_ns: 220,
+            access: Some(Access {
+                page: start + i as u64 * self.stride,
+                write: false,
+            }),
+        }));
+        buf.steps.push(Step {
+            compute_ns: 180,
+            access: None,
+        });
+    }
 }
 
 /// Two workloads co-located on one node (the multi-application setting
@@ -214,6 +263,21 @@ impl<A: Workload, B: Workload> Workload for MixedWorkload<A, B> {
             t
         } else {
             self.a.next_request(rng)
+        }
+    }
+
+    fn next_request_into(&mut self, rng: &mut Rng, buf: &mut Trace) {
+        if rng.gen_bool(self.fraction_b) {
+            self.b.next_request_into(rng, buf);
+            let offset = self.a.total_pages();
+            for step in &mut buf.steps {
+                if let Some(a) = &mut step.access {
+                    a.page += offset;
+                }
+            }
+            buf.class += self.a.classes().len() as u16;
+        } else {
+            self.a.next_request_into(rng, buf);
         }
     }
 }
@@ -289,6 +353,55 @@ mod tests {
         }
         // Uniform over 1000 pages: 2000 draws should hit most of them.
         assert!(pages.len() > 750, "only {} distinct pages", pages.len());
+    }
+
+    /// The pooled `next_request_into` path must produce the same trace
+    /// stream as the allocating path, from the same rng draws — the
+    /// simulator's byte-determinism depends on it.
+    #[test]
+    fn into_path_matches_allocating_path() {
+        fn check(mut fresh: impl Workload, mut pooled: impl Workload, seed: u64) {
+            let mut rng_a = Rng::new(seed);
+            let mut rng_b = Rng::new(seed);
+            let mut buf = Trace::default();
+            // Pre-dirty the buffer so stale state would be caught.
+            buf.steps.push(Step {
+                compute_ns: 1,
+                access: None,
+            });
+            buf.class = 7;
+            for _ in 0..500 {
+                let t = fresh.next_request(&mut rng_a);
+                pooled.next_request_into(&mut rng_b, &mut buf);
+                assert_eq!(t.class, buf.class);
+                assert_eq!(t.steps, buf.steps);
+                assert_eq!(t.request_bytes, buf.request_bytes);
+                assert_eq!(t.reply_bytes, buf.reply_bytes);
+            }
+        }
+        check(
+            ArrayIndexWorkload::new(5_000),
+            ArrayIndexWorkload::new(5_000),
+            11,
+        );
+        check(
+            StridedWorkload::new(100_000, 7, 12),
+            StridedWorkload::new(100_000, 7, 12),
+            12,
+        );
+        check(
+            MixedWorkload::new(
+                ArrayIndexWorkload::new(1_000),
+                StridedWorkload::new(50_000, 3, 4),
+                0.4,
+            ),
+            MixedWorkload::new(
+                ArrayIndexWorkload::new(1_000),
+                StridedWorkload::new(50_000, 3, 4),
+                0.4,
+            ),
+            13,
+        );
     }
 
     #[test]

@@ -646,3 +646,54 @@ fn slo_breach_intervals_are_well_formed_and_match_burn_series() {
         }
     }
 }
+
+/// The completions rate series must not dip at the warm-up rebase
+/// boundary. `Metrics::reset` zeroes every counter between two ticks;
+/// the counts accrued since the last pre-boundary sample are banked
+/// into the straddling tick rather than clamped away by the recorder's
+/// saturating delta (regression: the first in-window tick of every
+/// rate series used to read ~0).
+#[test]
+fn telemetry_rates_survive_the_warmup_rebase_boundary() {
+    use adios::desim::TelemetryConfig;
+    let mut wl = ArrayIndexWorkload::new(16_384);
+    let r = run_one(
+        SystemConfig::adios(),
+        &mut wl,
+        RunParams {
+            offered_rps: 800_000.0,
+            seed: 11,
+            warmup: SimDuration::from_millis(1),
+            measure: SimDuration::from_millis(6),
+            local_mem_fraction: 0.2,
+            keep_breakdowns: false,
+            burst: None,
+            timeline_bucket: None,
+            telemetry: Some(TelemetryConfig {
+                // Four ticks per warm-up ms: the registry reset at 1 ms
+                // lands inside the (750 µs, 1 ms] sampling period, so
+                // the tick at 1 ms must carry the banked tail.
+                tick: SimDuration::from_micros(250),
+                rules: Vec::new(),
+            }),
+            ..Default::default()
+        },
+    );
+    let report = r.telemetry.expect("telemetry was enabled");
+    let pts = report
+        .counter_series("completions")
+        .expect("completions series")
+        .means();
+    assert!(pts.len() >= 20, "expected a tick every 250 µs");
+    let mut sorted: Vec<f64> = pts.iter().map(|(_, v)| *v).collect();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let median = sorted[sorted.len() / 2];
+    assert!(median > 0.0, "steady load must complete requests");
+    for (at, v) in &pts {
+        assert!(
+            *v > 0.3 * median,
+            "completions rate dip at {at}: {v} vs median {median} — \
+             the boundary tail was lost"
+        );
+    }
+}
