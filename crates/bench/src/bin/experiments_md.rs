@@ -42,6 +42,16 @@ flags:
                      fault-plane / retransmission counters
   --shards N         shard the page space across N memnodes in the
                      smoke runs and print the per-shard counters
+  --profile          run the virtual-time core profiler: exhaustive
+                     per-core state tiling (dispatch/handoff/work/spin/
+                     park/ctx-switch/fetch-wait/tx-wait/idle), queue
+                     depth/wait probes with a Little's-law consistency
+                     score, a per-core utilization table on stdout, and
+                     <out-dir>/flame_<system>.folded plus
+                     profile_<system>.json on disk
+  --flame <path>     also write the Adios run's folded flamegraph to
+                     exactly <path> (implies --profile); render with
+                     speedscope or inferno-flamegraph
   --telemetry        run the continuous-telemetry plane: per-tick
                      counter/gauge series, per-QP/per-shard health
                      scores and SLO breach events; writes
@@ -75,6 +85,8 @@ struct Cli {
     faults: Option<FaultScenario>,
     shards: Option<usize>,
     telemetry: bool,
+    profile: bool,
+    flame: Option<PathBuf>,
     tick_us: u64,
     slo: Option<Vec<desim::SloRule>>,
     seed: Option<u64>,
@@ -92,6 +104,7 @@ impl Cli {
             || self.faults.is_some()
             || self.shards.is_some()
             || self.telemetry
+            || self.profile
     }
 }
 
@@ -109,6 +122,8 @@ fn parse_args(args: &[String]) -> Cli {
         faults: None,
         shards: None,
         telemetry: false,
+        profile: false,
+        flame: None,
         tick_us: 100,
         slo: None,
         seed: None,
@@ -171,6 +186,12 @@ fn parse_args(args: &[String]) -> Cli {
                 cli.shards = Some(n);
             }
             "--telemetry" => cli.telemetry = true,
+            "--profile" => cli.profile = true,
+            "--flame" => {
+                let v = it.next().unwrap_or_else(|| die("--flame requires a path"));
+                cli.flame = Some(PathBuf::from(v));
+                cli.profile = true;
+            }
             "--bench" => cli.bench = true,
             "--bench-repeats" => {
                 let v = it
@@ -280,6 +301,7 @@ fn smoke_mode(cli: &Cli) {
                     .clone()
                     .unwrap_or_else(desim::telemetry::default_rules),
             }),
+            profile: cli.profile.then(desim::ProfileConfig::default),
             ..Default::default()
         };
         if let Some(seed) = cli.seed {
@@ -390,6 +412,60 @@ fn smoke_mode(cli: &Cli) {
             );
         }
 
+        if let Some(p) = &res.profile {
+            println!(
+                "==== {kind:?}: core profiler ({} ns window, {} flame sub-windows) ====",
+                p.window.as_nanos(),
+                p.flame_windows
+            );
+            print!("{:>12}", "core");
+            for s in desim::CoreState::ALL {
+                print!(" {:>10}", s.name());
+            }
+            println!();
+            for c in &p.cores {
+                print!("{:>12}", c.label);
+                for s in desim::CoreState::ALL {
+                    print!("   {:>6.2} %", 100.0 * c.fraction(s));
+                }
+                println!();
+            }
+            println!(
+                "    worker spin fraction (profiler-derived): {:.4}",
+                p.worker_spin_fraction()
+            );
+            println!(
+                "    {:<24} {:>9} {:>11} {:>13} {:>13} {:>8}",
+                "queue", "arrivals", "mean_depth", "mean_wait_ns", "p99_wait_ns", "littles"
+            );
+            for q in &p.queues {
+                println!(
+                    "    {:<24} {:>9} {:>11.3} {:>13.1} {:>13} {:>8.3}",
+                    q.name,
+                    q.arrivals,
+                    q.mean_depth,
+                    q.mean_wait_ns,
+                    q.wait_p99_ns,
+                    q.littles_consistency
+                );
+            }
+            let folded = p.folded();
+            let fp = cli.out_dir.join(format!("flame_{system}.folded"));
+            std::fs::write(&fp, &folded).expect("write folded flamegraph");
+            let pj = cli.out_dir.join(format!("profile_{system}.json"));
+            std::fs::write(&pj, p.to_json()).expect("write profile JSON");
+            println!("wrote {}, {}\n", fp.display(), pj.display());
+            if kind == SystemKind::Adios {
+                if let Some(path) = &cli.flame {
+                    if let Some(parent) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                        std::fs::create_dir_all(parent).expect("create flame directory");
+                    }
+                    std::fs::write(path, &folded).expect("write flame file");
+                    println!("wrote {}\n", path.display());
+                }
+            }
+        }
+
         if cli.trace {
             let trace = res.trace.as_deref().unwrap_or(&[]);
             println!(
@@ -440,14 +516,20 @@ fn smoke_mode(cli: &Cli) {
                     h.percentile(99.9)
                 );
             }
-            // With telemetry on, the counter tracks ride along in the
-            // span document so both views share one Perfetto timeline.
-            let perfetto = match &res.telemetry {
-                Some(t) => splice_counters(
-                    &desim::span::perfetto_json(&report.exemplars),
-                    &t.perfetto_counter_events(),
-                ),
-                None => desim::span::perfetto_json(&report.exemplars),
+            // With telemetry or the profiler on, the counter and
+            // per-core state tracks ride along in the span document so
+            // every view shares one Perfetto timeline.
+            let mut extra: Vec<String> = Vec::new();
+            if let Some(t) = &res.telemetry {
+                extra.extend(t.perfetto_counter_events());
+            }
+            if let Some(p) = &res.profile {
+                extra.extend(p.perfetto_events());
+            }
+            let perfetto = if extra.is_empty() {
+                desim::span::perfetto_json(&report.exemplars)
+            } else {
+                splice_counters(&desim::span::perfetto_json(&report.exemplars), &extra)
             };
             let path = cli.out_dir.join(format!("spans_{system}.json"));
             std::fs::write(&path, &perfetto).expect("write span JSON");
@@ -526,13 +608,27 @@ fn bench_mode(cli: &Cli) {
     }
     let min = |xs: &[f64]| xs.iter().copied().fold(f64::INFINITY, f64::min);
     let max = |xs: &[f64]| xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    // Provenance: which tree produced this baseline, under which knobs
+    // — so a perf-gate failure can say *what* regressed against *which*
+    // baseline. Nested object; the gate's keys stay top-level scalars.
+    let commit = std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
     // `wall_clock_s` and `peak_rps` stay top-level scalars: CI gates
     // key on exactly those names.
     let bench = format!(
         "{{\"name\":\"adios_saturation\",\"repeats\":{},\"horizon_s\":{:.3},\
          \"offered_rps\":{offered:.1},\
          \"wall_clock_s\":{:.3},\"wall_clock_min_s\":{:.3},\"wall_clock_max_s\":{:.3},\
-         \"peak_rps\":{:.3},\"peak_rps_min\":{:.3},\"peak_rps_max\":{:.3}}}\n",
+         \"peak_rps\":{:.3},\"peak_rps_min\":{:.3},\"peak_rps_max\":{:.3},\
+         \"provenance\":{{\"commit\":\"{commit}\",\"seed\":{seed0},\
+         \"bench_repeats\":{},\"bench_horizon_ms\":{},\
+         \"flags\":\"--bench --bench-repeats {} --bench-horizon-ms {} --seed {seed0}\"}}}}\n",
         cli.bench_repeats,
         cli.bench_horizon_ms as f64 / 1e3,
         median(&walls),
@@ -541,6 +637,10 @@ fn bench_mode(cli: &Cli) {
         median(&rpss),
         min(&rpss),
         max(&rpss),
+        cli.bench_repeats,
+        cli.bench_horizon_ms,
+        cli.bench_repeats,
+        cli.bench_horizon_ms,
     );
     std::fs::write("BENCH_adios.json", &bench).expect("write BENCH_adios.json");
     print!("wrote BENCH_adios.json: {bench}");

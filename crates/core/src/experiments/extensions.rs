@@ -362,6 +362,7 @@ pub fn burst_tolerance(scale: Scale) -> FigureReport {
             spans: None,
             faults: None,
             telemetry: None,
+            profile: None,
         };
         let r = Simulation::new(cfg, &mut wl, params).run();
         if i == 0 {
@@ -421,6 +422,7 @@ pub fn scalability(scale: Scale) -> FigureReport {
             spans: None,
             faults: None,
             telemetry: None,
+            profile: None,
         };
         let r = Simulation::new(cfg, &mut wl, params).run();
         let achieved = r.recorder.achieved_rps();
@@ -567,6 +569,7 @@ pub fn faiss_nprobe(scale: Scale) -> FigureReport {
             spans: None,
             faults: None,
             telemetry: None,
+            profile: None,
         };
         let r = Simulation::new(SystemConfig::adios(), &mut wl, params).run();
         let p50 = r.recorder.overall().percentile(50.0);
@@ -710,6 +713,7 @@ fn run_faulty(
         spans: Some(desim::SpanConfig::stats_only()),
         faults: Some(scenario),
         telemetry: None,
+        profile: None,
     };
     Simulation::new(cfg.clone(), wl, params).run()
 }
@@ -983,6 +987,7 @@ pub fn shard_scaling(scale: Scale) -> FigureReport {
             spans: None,
             faults: None,
             telemetry: None,
+            profile: None,
         };
         let r = Simulation::new(cfg, &mut wl, params).run();
         let bytes: u64 = r.shards.iter().map(|w| w.data_bytes).sum();
@@ -1045,6 +1050,7 @@ pub fn shard_scaling(scale: Scale) -> FigureReport {
         spans: None,
         faults,
         telemetry: None,
+        profile: None,
     };
     let base = Simulation::new(crash_cfg.clone(), &mut wl, mk_params(None)).run();
     let crash = Simulation::new(

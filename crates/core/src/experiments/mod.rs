@@ -52,6 +52,7 @@ pub(crate) fn sweep(
                 spans: Some(desim::SpanConfig::stats_only()),
                 faults: None,
                 telemetry: None,
+                profile: None,
             };
             Simulation::new(cfg.clone(), workload, params).run()
         })
@@ -82,6 +83,7 @@ pub(crate) fn run_with_breakdowns(
         spans: Some(desim::SpanConfig::default()),
         faults: None,
         telemetry: None,
+        profile: None,
     };
     Simulation::new(cfg.clone(), workload, params).run()
 }

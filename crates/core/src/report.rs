@@ -76,6 +76,11 @@ pub fn run_json(res: &RunResult) -> String {
     if let Some(t) = &res.telemetry {
         let _ = write!(out, "\"telemetry\":{},", t.to_json());
     }
+    // Core-profiler block only when the profiler was on, same golden
+    // byte-identity contract as the telemetry block above.
+    if let Some(p) = &res.profile {
+        let _ = write!(out, "\"profile\":{},", p.to_json());
+    }
     // Always present, trace or not: a truncated (or absent) trace must
     // be distinguishable from a quiet run.
     let _ = write!(out, "\"trace_dropped\":{},", res.trace_dropped);

@@ -27,10 +27,15 @@
 //!   [`FlightRecorder`] sampling every counter/gauge into
 //!   [`TimeSeries`] buckets, per-entity health scores, and an SLO
 //!   burn-rate engine emitting typed [`SloEvent`]s into the trace ring.
+//! - [`profile`] — virtual-time core profiler ([`CoreProfiler`]) tiling
+//!   every core's timeline exhaustively into typed [`CoreState`]s, plus
+//!   queue probes ([`QueueProbe`]) with a Little's-law cross-check and
+//!   folded-stack flamegraph export.
 
 pub mod event;
 pub mod fxhash;
 pub mod hist;
+pub mod profile;
 pub mod rng;
 pub mod series;
 pub mod span;
@@ -41,6 +46,10 @@ pub mod trace;
 pub use event::EventQueue;
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use hist::Histogram;
+pub use profile::{
+    CoreProfiler, CoreReport, CoreState, ProfileConfig, ProfileReport, QueueProbe, QueueReport,
+    PERFETTO_PROFILE_PID,
+};
 pub use rng::Rng;
 pub use series::TimeSeries;
 pub use span::{

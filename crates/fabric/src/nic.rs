@@ -104,6 +104,21 @@ impl Completion {
     pub fn is_error(&self) -> bool {
         self.status != CompletionStatus::Success
     }
+
+    /// Queueing wait in the shared WQE engine: post instant →
+    /// dispatch. Zero when the engine was idle.
+    pub fn sq_wait(&self, posted_at: SimTime) -> SimDuration {
+        self.issued_at.saturating_since(posted_at)
+    }
+
+    /// Full send-queue slot residence: post instant → CQE pollable.
+    /// The slot itself frees when the CQE is consumed with
+    /// [`RdmaNic::on_cqe`], which simulations do at `done_at` — so this
+    /// is the per-element wait the queueing observatory records for SQ
+    /// occupancy.
+    pub fn slot_residence(&self, posted_at: SimTime) -> SimDuration {
+        self.done_at.saturating_since(posted_at)
+    }
 }
 
 #[derive(Debug, Clone)]

@@ -27,6 +27,7 @@ fn main() {
                 spans: None,
                 faults: None,
                 telemetry: None,
+                profile: None,
             };
             let mut w = ArrayIndexWorkload::new(pages);
             let res = run_one(SystemConfig::for_kind(kind), &mut w, params);

@@ -18,6 +18,9 @@
 use std::collections::VecDeque;
 use std::rc::Rc;
 
+use desim::profile::{
+    queue_names, CoreProfiler, CoreState, ProfileConfig, ProfileReport, QueueProbe,
+};
 use desim::span::{stage, SpanBuilder, SpanConfig, SpanReport, SpanStore};
 use desim::telemetry::{
     EpisodeNote, FlightRecorder, HealthInput, TelemetryConfig, TelemetryReport,
@@ -86,6 +89,14 @@ pub struct RunParams {
     /// configured SLO rules; the report lands in
     /// [`RunResult::telemetry`].
     pub telemetry: Option<TelemetryConfig>,
+    /// Core profiler + queueing observatory (None = off, the zero-cost
+    /// default: nothing registers and nothing accrues, so disabled runs
+    /// replay byte-identically to runs predating the profiler). When
+    /// set, a [`desim::profile::CoreProfiler`] tiles every core's
+    /// timeline (dispatcher included) exhaustively into typed states
+    /// and [`desim::profile::QueueProbe`]s watch every queue; the
+    /// report lands in [`RunResult::profile`].
+    pub profile: Option<ProfileConfig>,
 }
 
 impl Default for RunParams {
@@ -103,6 +114,7 @@ impl Default for RunParams {
             spans: None,
             faults: None,
             telemetry: None,
+            profile: None,
         }
     }
 }
@@ -306,6 +318,11 @@ pub struct RunResult {
     /// episode annotations (present when [`RunParams::telemetry`] was
     /// set).
     pub telemetry: Option<TelemetryReport>,
+    /// Core-profiler report: exhaustive per-core state tilings, the
+    /// queueing observatory with Little's-law consistency scores, and
+    /// the flamegraph/Perfetto exporters (present when
+    /// [`RunParams::profile`] was set).
+    pub profile: Option<ProfileReport>,
 }
 
 impl RunResult {
@@ -325,8 +342,20 @@ impl RunResult {
     }
 
     /// Fraction of total worker time spent spinning.
+    ///
+    /// With the profiler on, this is derived from the per-core state
+    /// tilings, whose denominator is *proven* to cover the window
+    /// exactly (see [`desim::profile::CoreProfiler`]). Without it, the
+    /// legacy counter ratio is used; its denominator assumes every
+    /// worker exists for the full window — true today, but unchecked,
+    /// which is why profiled runs prefer the tiling-derived value.
     pub fn spin_fraction(&self) -> f64 {
-        self.stats.spin_ns as f64 / (self.workers as f64 * self.window.as_nanos() as f64)
+        match &self.profile {
+            Some(p) => p.worker_spin_fraction(),
+            None => {
+                self.stats.spin_ns as f64 / (self.workers as f64 * self.window.as_nanos() as f64)
+            }
+        }
     }
 }
 
@@ -522,6 +551,39 @@ mod obs {
     ///
     /// [`RunParams::spans`]: super::RunParams::spans
     pub const SPANS: u8 = 1 << 1;
+    /// The core profiler + queueing observatory
+    /// ([`RunParams::profile`]).
+    ///
+    /// [`RunParams::profile`]: super::RunParams::profile
+    pub const PROFILE: u8 = 1 << 2;
+}
+
+/// The core profiler's runtime state: the per-core tiler, park
+/// bookkeeping, and one [`QueueProbe`] (+ registered depth gauge) per
+/// instrumented queue. Present only when [`RunParams::profile`] is set.
+///
+/// Core indexing: core 0 is the dispatcher, core `w + 1` is worker `w`.
+struct ProfPlane {
+    cores: CoreProfiler,
+    /// Parked (yielded, fetch outstanding) unithreads per worker —
+    /// decides whether an idle gap is `Park` or `Idle`.
+    parked: Vec<u32>,
+    /// Window-clamped ns workers spent waiting for a free frame. These
+    /// tile as `FetchWait` but the legacy `spin_ns` counter never
+    /// booked them, so the spin-fraction cross-check subtracts them.
+    frame_wait_ns: u64,
+    /// Dispatcher ingress queue (the central `pending` queue).
+    ingress: QueueProbe,
+    ingress_gauge: GaugeId,
+    /// Per-worker runnable (resume) queues.
+    runnable: Vec<QueueProbe>,
+    runnable_gauges: Vec<Option<GaugeId>>,
+    /// Per-shard NIC send-queue occupancy (all QPs on the rail).
+    sq: Vec<QueueProbe>,
+    sq_gauges: Vec<Option<GaugeId>>,
+    /// Per-shard deferred write-back queues.
+    wb: Vec<QueueProbe>,
+    wb_gauges: Vec<Option<GaugeId>>,
 }
 
 /// One compute node + memory node + load generator, ready to run.
@@ -594,6 +656,14 @@ pub struct Simulation<'w> {
     /// Continuous-telemetry bridge (None = telemetry off; see
     /// [`RunParams::telemetry`]).
     telem: Option<TelemBridge>,
+    /// Core profiler + queueing observatory (None = profiler off; see
+    /// [`RunParams::profile`]).
+    prof: Option<ProfPlane>,
+    /// Dispatcher-utilization gauge, registered when telemetry or the
+    /// profiler is on (the window-aggregate gauge value in the metrics
+    /// snapshot is time-weighted and therefore *is* the busy fraction;
+    /// per-tick telemetry series sample the instantaneous 0/1 level).
+    dispatcher_busy_gauge: Option<GaugeId>,
 }
 
 impl<'w> Simulation<'w> {
@@ -669,6 +739,49 @@ impl<'w> Simulation<'w> {
         };
         let shard_map = ShardMap::new(shards, replicas, total_pages, cfg.shard_policy);
 
+        // Dispatcher utilization joins the registry only when an
+        // observer (telemetry or the profiler) wants it: the default
+        // schema must stay byte-identical to the golden capture.
+        let dispatcher_busy_gauge = (params.telemetry.is_some() || params.profile.is_some())
+            .then(|| metrics.gauge("dispatcher.busy_fraction"));
+        // The profiler's probes and depth gauges, like every other
+        // instrument, must register before the flight recorder below so
+        // telemetry runs sample them.
+        let prof = params.profile.take().map(|pc| {
+            let mut cores = CoreProfiler::new(warmup_end, measure_end, &pc);
+            cores.add_core("dispatcher".to_string(), false);
+            for w in 0..cfg.workers {
+                cores.add_core(format!("worker{w}"), true);
+            }
+            ProfPlane {
+                cores,
+                parked: vec![0; cfg.workers],
+                frame_wait_ns: 0,
+                ingress: QueueProbe::new("ingress".to_string(), warmup_end, measure_end),
+                ingress_gauge: metrics.gauge(queue_names::INGRESS),
+                runnable: (0..cfg.workers)
+                    .map(|w| QueueProbe::new(format!("w{w}.runnable"), warmup_end, measure_end))
+                    .collect(),
+                runnable_gauges: (0..cfg.workers)
+                    .map(|w| queue_names::RUNNABLE.get(w).map(|n| metrics.gauge(n)))
+                    .collect(),
+                sq: (0..shards)
+                    .map(|s| QueueProbe::new(format!("shard{s}.sq"), warmup_end, measure_end))
+                    .collect(),
+                sq_gauges: (0..shards)
+                    .map(|s| queue_names::SQ.get(s).map(|n| metrics.gauge(n)))
+                    .collect(),
+                wb: (0..shards)
+                    .map(|s| {
+                        QueueProbe::new(format!("shard{s}.writeback"), warmup_end, measure_end)
+                    })
+                    .collect(),
+                wb_gauges: (0..shards)
+                    .map(|s| queue_names::WRITEBACK.get(s).map(|n| metrics.gauge(n)))
+                    .collect(),
+            }
+        });
+
         // The scenario and telemetry configs are consumed, not cloned:
         // neither is read again after construction.
         let plane = match params.faults.take() {
@@ -712,7 +825,8 @@ impl<'w> Simulation<'w> {
             })
             .map(SpanStore::new);
         let obs_mask = (if tracer.enabled() { obs::TRACE } else { 0 })
-            | (if span_store.is_some() { obs::SPANS } else { 0 });
+            | (if span_store.is_some() { obs::SPANS } else { 0 })
+            | (if prof.is_some() { obs::PROFILE } else { 0 });
 
         Simulation {
             events: EventQueue::new(),
@@ -777,6 +891,8 @@ impl<'w> Simulation<'w> {
                 inflight: desim::TimeSeries::new(b),
             }),
             telem,
+            prof,
+            dispatcher_busy_gauge,
             workload,
             cfg,
             params,
@@ -919,11 +1035,58 @@ impl<'w> Simulation<'w> {
                 .unwrap_or_default();
             b.rec.finish(episodes)
         });
+        // Close every core's tail gap at the window end and freeze the
+        // tilings; queue reports keep a fixed order (ingress, per-worker
+        // runnable, per-shard SQ, per-shard write-back) so serialisation
+        // is deterministic.
+        let profile = self.prof.take().map(|p| {
+            let mut queues = Vec::with_capacity(1 + p.runnable.len() + p.sq.len() + p.wb.len());
+            queues.push(p.ingress.report());
+            queues.extend(p.runnable.iter().map(QueueProbe::report));
+            queues.extend(p.sq.iter().map(QueueProbe::report));
+            queues.extend(p.wb.iter().map(QueueProbe::report));
+            p.cores.finish(queues, p.frame_wait_ns)
+        });
+        let stats = SimStats::from_snapshot(&metrics);
+        // Satellite cross-check: on fault-free runs the legacy spin
+        // counter and the tiling-derived spin time must agree. They
+        // cannot agree exactly — the counter bins whole spin intervals
+        // at the instant they are issued (a spin straddling the warm-up
+        // boundary is booked whole or zeroed by the reset) while the
+        // profiler clamps every accrual to the window — so the bound is
+        // 2 % of total worker time plus 5 % of the counter itself.
+        #[cfg(debug_assertions)]
+        if let Some(p) = &profile {
+            if !self.plane.active() {
+                let derived: u64 = p
+                    .cores
+                    .iter()
+                    .filter(|c| c.is_worker)
+                    .map(|c| {
+                        c.ns(CoreState::Spin) + c.ns(CoreState::TxWait) + c.ns(CoreState::FetchWait)
+                    })
+                    .sum::<u64>()
+                    .saturating_sub(p.frame_wait_ns);
+                let total: u64 = p
+                    .cores
+                    .iter()
+                    .filter(|c| c.is_worker)
+                    .map(|c| c.total_ns())
+                    .sum();
+                let diff = stats.spin_ns.abs_diff(derived);
+                assert!(
+                    diff as f64 <= 0.02 * total as f64 + 0.05 * stats.spin_ns as f64,
+                    "legacy spin_ns {} vs profiler-derived {} diverge beyond tolerance",
+                    stats.spin_ns,
+                    derived
+                );
+            }
+        }
         RunResult {
             recorder: self.recorder,
             rdma_data_util: data_util,
             rdma_ctrl_util: ctrl_util,
-            stats: SimStats::from_snapshot(&metrics),
+            stats,
             metrics,
             trace,
             trace_dropped: self.tracer.dropped(),
@@ -935,6 +1098,7 @@ impl<'w> Simulation<'w> {
             spans: self.span_store.map(SpanStore::finish),
             shards: shard_windows,
             telemetry,
+            profile,
         }
     }
 
@@ -1008,6 +1172,171 @@ impl<'w> Simulation<'w> {
                 a,
                 b,
             });
+        }
+    }
+
+    // ----- core profiler hooks -------------------------------------------
+    //
+    // All hooks are one integer test when the profiler is off
+    // (mirroring [`Simulation::trace`]); none of them schedules events,
+    // so enabling the profiler never perturbs a run. Core 0 is the
+    // dispatcher; worker `w` tiles core `w + 1`.
+
+    /// Accrues worker `w`'s open gap (idle/park/stall) up to `now`.
+    #[inline]
+    fn wprof_flush(&mut self, w: usize, now: SimTime) {
+        if self.obs_mask & obs::PROFILE != 0 {
+            if let Some(p) = &mut self.prof {
+                p.cores.flush(w + 1, now);
+            }
+        }
+    }
+
+    /// Closes worker `w`'s interval `[cursor, until]` as `state`.
+    #[inline]
+    fn wprof_phase(&mut self, w: usize, state: CoreState, until: SimTime) {
+        if self.obs_mask & obs::PROFILE != 0 {
+            if let Some(p) = &mut self.prof {
+                p.cores.phase(w + 1, state, until);
+            }
+        }
+    }
+
+    /// Marks the state of worker `w`'s next open interval.
+    #[inline]
+    fn wprof_gap(&mut self, w: usize, state: CoreState) {
+        if self.obs_mask & obs::PROFILE != 0 {
+            if let Some(p) = &mut self.prof {
+                p.cores.set_gap(w + 1, state);
+            }
+        }
+    }
+
+    /// Worker `w` idles until a handoff that completes at `until`
+    /// (push-path dispatch onto an idle worker): the open gap runs to
+    /// the handoff's start, then the handoff itself tiles as `Handoff`.
+    #[inline]
+    fn wprof_handoff_from(&mut self, w: usize, start: SimTime, until: SimTime) {
+        if self.obs_mask & obs::PROFILE != 0 {
+            if let Some(p) = &mut self.prof {
+                p.cores.flush(w + 1, start);
+                p.cores.phase(w + 1, CoreState::Handoff, until);
+            }
+        }
+    }
+
+    /// Records one dispatcher busy interval `[start, end]` of the given
+    /// state. Intervals are naturally monotone (every `dispatcher_free`
+    /// advance is `max`-clamped), so the 1 → 0 gauge edges integrate to
+    /// the true busy fraction in the window aggregate.
+    #[inline]
+    fn dispatcher_busy(&mut self, start: SimTime, end: SimTime, state: CoreState) {
+        if let Some(g) = self.dispatcher_busy_gauge {
+            self.metrics.gauge_set(g, start, 1.0);
+            self.metrics.gauge_set(g, end, 0.0);
+        }
+        if self.obs_mask & obs::PROFILE != 0 {
+            if let Some(p) = &mut self.prof {
+                p.cores.flush(0, start);
+                p.cores.phase(0, state, end);
+            }
+        }
+    }
+
+    /// Ingress (central pending queue) enter/leave.
+    #[inline]
+    fn q_ingress(&mut self, now: SimTime, push: bool) {
+        if let Some(p) = &mut self.prof {
+            let d = if push {
+                p.ingress.enqueue(now)
+            } else {
+                p.ingress.dequeue(now)
+            };
+            self.metrics.gauge_set(p.ingress_gauge, now, d as f64);
+        }
+    }
+
+    /// Worker `w`'s runnable (resume) queue enter/leave.
+    #[inline]
+    fn q_runnable(&mut self, w: usize, now: SimTime, push: bool) {
+        if let Some(p) = &mut self.prof {
+            let d = if push {
+                p.runnable[w].enqueue(now)
+            } else {
+                p.runnable[w].dequeue(now)
+            };
+            if let Some(g) = p.runnable_gauges[w] {
+                self.metrics.gauge_set(g, now, d as f64);
+            }
+        }
+    }
+
+    /// A work request occupied a slot on shard `shard`'s send queue at
+    /// `at`; its residence (post → CQE consumption) is known
+    /// analytically at post time.
+    #[inline]
+    fn q_sq_post(&mut self, shard: usize, at: SimTime, residence: SimDuration) {
+        if let Some(p) = &mut self.prof {
+            let d = p.sq[shard].inc(at);
+            p.sq[shard].wait(at, residence);
+            if let Some(g) = p.sq_gauges[shard] {
+                self.metrics.gauge_set(g, at, d as f64);
+            }
+        }
+    }
+
+    /// A CQE retired one slot on shard `shard`'s send queue.
+    #[inline]
+    fn q_sq_cqe(&mut self, shard: usize, now: SimTime) {
+        if let Some(p) = &mut self.prof {
+            let d = p.sq[shard].dec(now);
+            if let Some(g) = p.sq_gauges[shard] {
+                self.metrics.gauge_set(g, now, d as f64);
+            }
+        }
+    }
+
+    /// Shard `shard`'s deferred write-back queue enter/leave.
+    #[inline]
+    fn q_wb(&mut self, shard: usize, now: SimTime, push: bool) {
+        if let Some(p) = &mut self.prof {
+            let d = if push {
+                p.wb[shard].enqueue(now)
+            } else {
+                p.wb[shard].dequeue(now)
+            };
+            if let Some(g) = p.wb_gauges[shard] {
+                self.metrics.gauge_set(g, now, d as f64);
+            }
+        }
+    }
+
+    /// A unithread parked (yielded with its fetch outstanding) on
+    /// worker `w`.
+    #[inline]
+    fn prof_park(&mut self, w: usize) {
+        if let Some(p) = &mut self.prof {
+            p.parked[w] += 1;
+        }
+    }
+
+    /// A parked unithread on worker `w` left the parked set at `now`
+    /// (became runnable, or was dropped by a failed fetch). If the
+    /// worker is idling, its gap so far was `Park`; re-derive the gap
+    /// state from the remaining parked count.
+    #[inline]
+    fn prof_unpark(&mut self, w: usize, now: SimTime, idle: bool) {
+        if let Some(p) = &mut self.prof {
+            p.parked[w] -= 1;
+            if idle {
+                p.cores.flush(w + 1, now);
+                let gap = if p.parked[w] > 0 {
+                    CoreState::Park
+                } else {
+                    CoreState::Idle
+                };
+                p.cores.set_gap(w + 1, gap);
+            }
         }
     }
 
@@ -1215,8 +1544,9 @@ impl<'w> Simulation<'w> {
                     return;
                 }
                 self.admission_backlog += 1;
-                self.dispatcher_free =
-                    self.dispatcher_free.max(now) + self.cfg.dispatch_cost + self.cfg.client_stack;
+                let start = self.dispatcher_free.max(now);
+                self.dispatcher_free = start + self.cfg.dispatch_cost + self.cfg.client_stack;
+                self.dispatcher_busy(start, self.dispatcher_free, CoreState::Dispatch);
                 self.events.push(self.dispatcher_free, Ev::Admit { req });
             }
             QueueModel::PerWorker | QueueModel::PerWorkerStealing => {
@@ -1244,6 +1574,7 @@ impl<'w> Simulation<'w> {
         if let Some(sb) = self.sb(req) {
             sb.phase(stage::DISPATCH, now);
         }
+        self.q_ingress(now, true);
         self.pending.push_back(req);
         self.try_dispatch(now);
     }
@@ -1256,9 +1587,13 @@ impl<'w> Simulation<'w> {
                 return;
             };
             let req = self.pending.pop_front().expect("non-empty pending");
-            let wake =
-                self.dispatcher_free.max(now).max(self.workers[w].free_at) + self.cfg.handoff_cost;
-            self.dispatcher_free = self.dispatcher_free.max(now) + self.cfg.handoff_cost;
+            self.q_ingress(now, false);
+            let start = self.dispatcher_free.max(now);
+            let hstart = start.max(self.workers[w].free_at);
+            let wake = hstart + self.cfg.handoff_cost;
+            self.dispatcher_free = start + self.cfg.handoff_cost;
+            self.dispatcher_busy(start, self.dispatcher_free, CoreState::Handoff);
+            self.wprof_handoff_from(w, hstart, wake);
             self.workers[w].busy = true;
             self.metrics.inc(self.ids.dispatches);
             self.trace(now, "dispatch", "assign", req as u64, w as u64);
@@ -1316,7 +1651,9 @@ impl<'w> Simulation<'w> {
         self.workers[w].busy = true;
         self.metrics.inc(self.ids.dispatches);
         self.trace(now, "dispatch", "assign_local", req as u64, w as u64);
-        let wake = now.max(self.workers[w].free_at) + self.cfg.handoff_cost;
+        let hstart = now.max(self.workers[w].free_at);
+        let wake = hstart + self.cfg.handoff_cost;
+        self.wprof_handoff_from(w, hstart, wake);
         self.events.push(
             wake,
             Ev::WorkerWake {
@@ -1342,6 +1679,11 @@ impl<'w> Simulation<'w> {
             };
             self.trace(now, "worker", name, w as u64, req as u64);
         }
+        // The worker re-enters execution: close its open gap
+        // (idle/park/stall). For wakes whose phases were accrued at
+        // issue time (busy-wait spins, handoffs) the cursor is already
+        // at `now` and this is a no-op.
+        self.wprof_flush(w, now);
         match cont {
             Cont::Start { req } => {
                 let setup_extra = self
@@ -1349,16 +1691,17 @@ impl<'w> Simulation<'w> {
                     .kernel
                     .map(|k| k.net_stack)
                     .unwrap_or(SimDuration::ZERO);
+                let is_yield = self.cfg.fault_policy == FaultPolicy::Yield;
+                let setup = self.cfg.request_setup + setup_extra;
+                let ctx = self.cfg.ctx_switch;
+                let cq = self.cfg.cq_poll;
                 let mut t = now;
+                let first;
                 {
-                    let is_yield = self.cfg.fault_policy == FaultPolicy::Yield;
-                    let cfg_setup = self.cfg.request_setup;
-                    let ctx = self.cfg.ctx_switch;
-                    let cq = self.cfg.cq_poll;
                     let r = self.req(req);
                     r.sched_epoch = now;
                     r.worker = w;
-                    let first = !r.started;
+                    first = !r.started;
                     r.started = true;
                     if let Some(sb) = r.spans.as_mut() {
                         // Time spent queued (admit → start, or preempt
@@ -1367,7 +1710,6 @@ impl<'w> Simulation<'w> {
                         sb.begin_segment(now, w);
                     }
                     if first {
-                        let setup = cfg_setup + setup_extra;
                         t += setup;
                         if is_yield {
                             // Unithread creation + switch in, plus the
@@ -1381,6 +1723,12 @@ impl<'w> Simulation<'w> {
                                 sb.phase(stage::CTX, now + setup + ctx + cq);
                             }
                         }
+                    }
+                }
+                if first {
+                    self.wprof_phase(w, CoreState::Work, now + setup);
+                    if is_yield {
+                        self.wprof_phase(w, CoreState::CtxSwitch, now + setup + ctx + cq);
                     }
                 }
                 self.execute(w, req, t);
@@ -1403,6 +1751,8 @@ impl<'w> Simulation<'w> {
                         sb.phase(stage::CTX, now + map + ctx);
                     }
                 }
+                self.wprof_phase(w, CoreState::Work, now + map);
+                self.wprof_phase(w, CoreState::CtxSwitch, now + map + ctx);
                 t += map + ctx;
                 self.execute(w, req, t);
             }
@@ -1420,6 +1770,7 @@ impl<'w> Simulation<'w> {
                     sb.end_fault(now + map);
                     sb.phase(stage::HANDLE, now + map);
                 }
+                self.wprof_phase(w, CoreState::Work, now + map);
                 t += map;
                 self.execute(w, req, t);
             }
@@ -1481,6 +1832,8 @@ impl<'w> Simulation<'w> {
                     sb.end_segment(t + cost);
                 }
                 t += cost;
+                self.wprof_phase(w, CoreState::CtxSwitch, t);
+                self.q_ingress(t, true);
                 self.pending.push_back(req);
                 self.worker_pick_next(w, t);
                 return;
@@ -1505,6 +1858,10 @@ impl<'w> Simulation<'w> {
                 }
             }
             t += compute;
+            // Kernel-interference stalls fold into `Work` here: the
+            // core is occupied either way, and the request-level view
+            // already attributes the stall to queueing via the span.
+            self.wprof_phase(w, CoreState::Work, t);
 
             if let Some(access) = step.access {
                 match self.cache.lookup(access.page) {
@@ -1569,6 +1926,8 @@ impl<'w> Simulation<'w> {
                         .expect("in-flight page")
                         .waiters
                         .push(req);
+                    self.wprof_phase(w, CoreState::CtxSwitch, t + ctx + cq);
+                    self.prof_park(w);
                     self.worker_pick_next(w, t + ctx + cq);
                 }
                 FaultPolicy::BusyWait | FaultPolicy::BusyWaitPreempt => {
@@ -1577,6 +1936,7 @@ impl<'w> Simulation<'w> {
                         sb.phase(stage::HANDLE, t);
                         sb.phase(stage::SPIN, done_at.max(t));
                     }
+                    self.wprof_phase(w, CoreState::Spin, done_at.max(t));
                     self.metrics.add(self.ids.spin_ns, spin.as_nanos());
                     self.trace(t, "worker", "spin", w as u64, spin.as_nanos());
                     self.events.push(
@@ -1620,6 +1980,8 @@ impl<'w> Simulation<'w> {
                     .expect("in-flight page")
                     .waiters
                     .push(req);
+                self.wprof_phase(w, CoreState::CtxSwitch, t + ctx + cq);
+                self.prof_park(w);
                 self.worker_pick_next(w, t + ctx + cq);
                 false
             }
@@ -1629,6 +1991,7 @@ impl<'w> Simulation<'w> {
                     sb.phase(stage::HANDLE, t);
                     sb.phase(stage::SPIN, done_at);
                 }
+                self.wprof_phase(w, CoreState::Spin, done_at);
                 self.metrics.add(self.ids.spin_ns, spin.as_nanos());
                 self.trace(t, "worker", "spin", w as u64, spin.as_nanos());
                 // FetchDone at done_at was scheduled earlier, so FIFO
@@ -1681,6 +2044,18 @@ impl<'w> Simulation<'w> {
                     if let Some(sb) = self.sb(req) {
                         sb.phase(stage::HANDLE, t);
                     }
+                    // The wait tiles as `FetchWait`; the legacy spin
+                    // counter never booked frame waits, so they are
+                    // tracked separately for the spin cross-check.
+                    self.wprof_phase(w, CoreState::Work, t);
+                    self.wprof_gap(w, CoreState::FetchWait);
+                    if let Some(p) = &mut self.prof {
+                        let a = t.max(self.warmup_end);
+                        let b = (t + SimDuration::from_nanos(500)).min(self.measure_end);
+                        if b > a {
+                            p.frame_wait_ns += b.since(a).as_nanos();
+                        }
+                    }
                     self.events.push(
                         t + SimDuration::from_nanos(500),
                         Ev::WorkerWake {
@@ -1715,14 +2090,18 @@ impl<'w> Simulation<'w> {
                 debug_assert!(evicted.is_some());
                 self.workers[w].blocked = Some((req, t));
                 // The QP_STALL phase is emitted when a CQE frees a slot
-                // (see on_fetch_done); flush the handler work now.
+                // (see on_fetch_done); flush the handler work now. The
+                // stall tiles as `FetchWait`, closed by the retry wake.
                 if let Some(sb) = self.sb(req) {
                     sb.phase(stage::HANDLE, t);
                 }
+                self.wprof_phase(w, CoreState::Work, t);
+                self.wprof_gap(w, CoreState::FetchWait);
                 return false;
             }
         };
         t += self.cfg.fault_issue + self.cfg.prefetch_compute;
+        self.wprof_phase(w, CoreState::Work, t);
         let outstanding = self.total_outstanding();
         self.metrics
             .gauge_set(self.ids.qp_outstanding, t, outstanding as f64);
@@ -1762,6 +2141,8 @@ impl<'w> Simulation<'w> {
                     .expect("just inserted")
                     .waiters
                     .push(req);
+                self.wprof_phase(w, CoreState::CtxSwitch, t + ctx + cq);
+                self.prof_park(w);
                 self.worker_pick_next(w, t + ctx + cq);
             }
             FaultPolicy::BusyWait | FaultPolicy::BusyWaitPreempt => {
@@ -1773,6 +2154,7 @@ impl<'w> Simulation<'w> {
                     sb.phase(stage::HANDLE, t);
                     sb.phase(stage::SPIN, outcome.done_at.max(t));
                 }
+                self.wprof_phase(w, CoreState::Spin, outcome.done_at.max(t));
                 self.metrics.add(self.ids.spin_ns, spin.as_nanos());
                 self.trace(t, "worker", "spin", w as u64, spin.as_nanos());
                 let wake = outcome.done_at.max(t);
@@ -1838,6 +2220,7 @@ impl<'w> Simulation<'w> {
                     });
                 }
             };
+            self.q_sq_post(shard, at, completion.slot_residence(at));
             self.shard_inc(shard, |s| s.fetches);
             // Telemetry attributes every attempt of the chain to the
             // worker QP that originated it, even after failover.
@@ -1980,6 +2363,7 @@ impl<'w> Simulation<'w> {
             let ps = self.shard_map.shard_of(p);
             match self.post_read(t, ps, qp, p, 0) {
                 Ok(c) => {
+                    self.q_sq_post(ps, t, c.slot_residence(t));
                     self.metrics.inc(self.ids.prefetches);
                     self.shard_inc(ps, |s| s.fetches);
                     self.telem_fetch(ps, qp, c.retransmits as u64, c.is_error());
@@ -2025,6 +2409,7 @@ impl<'w> Simulation<'w> {
         let cqe_qp = info.as_ref().map_or(self.workers[w].qp, |i| i.qp);
         let shard = self.shard_map.shard_of(page);
         self.nics[shard].on_cqe(now, cqe_qp);
+        self.q_sq_cqe(shard, now);
         let outstanding = self.total_outstanding();
         self.metrics
             .gauge_set(self.ids.qp_outstanding, now, outstanding as f64);
@@ -2042,12 +2427,17 @@ impl<'w> Simulation<'w> {
                 debug_assert!(evicted.is_some());
                 self.trace(now, "fault", "fetch_failed", w as u64, page);
                 for waiter in info.waiters {
-                    let tx = self.req(waiter).tx_time;
+                    let (tx, home) = {
+                        let r = self.req(waiter);
+                        (r.tx_time, r.worker)
+                    };
                     self.recorder.drop_request(tx);
                     self.discard_spans(waiter);
                     self.free_req(waiter);
                     self.metrics.inc(self.ids.drops);
                     self.metrics.inc(self.ids.fetch_aborts);
+                    let idle = !self.workers[home].busy;
+                    self.prof_unpark(home, now, idle);
                 }
             } else {
                 if !info.completed_early {
@@ -2090,6 +2480,9 @@ impl<'w> Simulation<'w> {
 
     fn make_waiter_ready(&mut self, now: SimTime, waiter: usize) {
         let home = self.req(waiter).worker;
+        let idle = !self.workers[home].busy;
+        self.prof_unpark(home, now, idle);
+        self.q_runnable(home, now, true);
         self.workers[home].resumes.push_back(waiter);
         if !self.workers[home].busy {
             self.workers[home].busy = true;
@@ -2108,8 +2501,15 @@ impl<'w> Simulation<'w> {
         match self.cfg.queue_model {
             QueueModel::SingleQueue => {
                 if let Some(req) = self.pending.pop_front() {
-                    let wake = self.dispatcher_free.max(t) + self.cfg.handoff_cost;
+                    self.q_ingress(t, false);
+                    let start = self.dispatcher_free.max(t);
+                    let wake = start + self.cfg.handoff_cost;
                     self.dispatcher_free = wake;
+                    self.dispatcher_busy(start, wake, CoreState::Handoff);
+                    // Pull-path handoff: the worker waits on the
+                    // dispatcher, so the whole `[t, wake]` interval is
+                    // handoff time on the worker core too.
+                    self.wprof_phase(w, CoreState::Handoff, wake);
                     self.events.push(
                         wake,
                         Ev::WorkerWake {
@@ -2123,6 +2523,7 @@ impl<'w> Simulation<'w> {
             QueueModel::PerWorker | QueueModel::PerWorkerStealing => {
                 if let Some(req) = self.workers[w].local_queue.pop_front() {
                     let wake = t + self.cfg.handoff_cost;
+                    self.wprof_phase(w, CoreState::Handoff, wake);
                     self.events.push(
                         wake,
                         Ev::WorkerWake {
@@ -2143,6 +2544,7 @@ impl<'w> Simulation<'w> {
                             self.metrics.inc(self.ids.steals);
                             self.trace(t, "worker", "steal", w as u64, v as u64);
                             let wake = t + self.cfg.steal_cost;
+                            self.wprof_phase(w, CoreState::Handoff, wake);
                             self.events.push(
                                 wake,
                                 Ev::WorkerWake {
@@ -2156,6 +2558,16 @@ impl<'w> Simulation<'w> {
                 }
             }
         }
+        // Going idle: the open gap is `Park` while yielded unithreads
+        // are outstanding on this worker, plain `Idle` otherwise.
+        if let Some(p) = &mut self.prof {
+            let gap = if p.parked[w] > 0 {
+                CoreState::Park
+            } else {
+                CoreState::Idle
+            };
+            p.cores.set_gap(w + 1, gap);
+        }
         self.workers[w].busy = false;
         self.workers[w].free_at = t;
     }
@@ -2167,6 +2579,7 @@ impl<'w> Simulation<'w> {
             .resumes
             .pop_front()
             .expect("wake_for_next without resumes");
+        self.q_runnable(w, t, false);
         self.events.push(
             t,
             Ev::WorkerWake {
@@ -2186,6 +2599,7 @@ impl<'w> Simulation<'w> {
             sb.phase(stage::REPLY, t + build);
         }
         t += build;
+        self.wprof_phase(w, CoreState::Work, t);
         if self.cfg.fault_policy == FaultPolicy::Yield {
             // Switch from the unithread back to the worker.
             let ctx = self.cfg.ctx_switch;
@@ -2193,6 +2607,7 @@ impl<'w> Simulation<'w> {
                 sb.phase(stage::CTX, t + ctx);
             }
             t += ctx;
+            self.wprof_phase(w, CoreState::CtxSwitch, t);
         }
         let tx = self.eth.send_reply(t, reply_bytes);
         if self.cfg.polling_delegation {
@@ -2201,7 +2616,9 @@ impl<'w> Simulation<'w> {
             // buffer within its normal polling batches. Only the
             // recycle *work* loads the dispatcher — the CQE's arrival
             // time does not stall admissions (CQEs wait in the CQ).
-            self.dispatcher_free = self.dispatcher_free.max(t) + self.cfg.recycle_cost;
+            let start = self.dispatcher_free.max(t);
+            self.dispatcher_free = start + self.cfg.recycle_cost;
+            self.dispatcher_busy(start, self.dispatcher_free, CoreState::Dispatch);
         } else {
             // The worker spins until the TX completion. The spin can
             // outlast the client's receive instant (CQE raise vs. wire
@@ -2211,6 +2628,7 @@ impl<'w> Simulation<'w> {
             if let Some(sb) = self.sb(req) {
                 sb.phase(stage::TX_WAIT, tx.cqe_at.min(tx.client_rx_at));
             }
+            self.wprof_phase(w, CoreState::TxWait, tx.cqe_at.max(t));
             self.metrics.add(self.ids.spin_ns, spin.as_nanos());
             self.trace(t, "worker", "spin", w as u64, spin.as_nanos());
             t = t.max(tx.cqe_at);
@@ -2321,6 +2739,7 @@ impl<'w> Simulation<'w> {
             &mut self.plane,
         ) {
             Ok(c) => {
+                self.q_sq_post(shard, now, c.slot_residence(now));
                 self.metrics.inc(self.ids.writebacks);
                 if c.is_error() {
                     // The frame was already reused and page contents are
@@ -2333,6 +2752,7 @@ impl<'w> Simulation<'w> {
             }
             Err(fabric::PostError::QpFull) => {
                 self.metrics.inc(self.ids.qp_full_retries);
+                self.q_wb(shard, now, true);
                 self.deferred_writebacks[shard].push_back(page);
             }
         }
@@ -2340,11 +2760,13 @@ impl<'w> Simulation<'w> {
 
     fn on_write_done(&mut self, now: SimTime, shard: usize) {
         self.nics[shard].on_cqe(now, QpId(self.cfg.workers as u32));
+        self.q_sq_cqe(shard, now);
         let outstanding = self.total_outstanding();
         self.metrics
             .gauge_set(self.ids.qp_outstanding, now, outstanding as f64);
         self.note_shard_outstanding(shard, now);
         if let Some(page) = self.deferred_writebacks[shard].pop_front() {
+            self.q_wb(shard, now, false);
             self.writeback(now, page);
         }
     }
@@ -2353,6 +2775,7 @@ impl<'w> Simulation<'w> {
     /// it so the QP slot frees (the chain already continued elsewhere).
     fn on_cqe_retire(&mut self, now: SimTime, shard: usize, qp: QpId) {
         self.nics[shard].on_cqe(now, qp);
+        self.q_sq_cqe(shard, now);
         let outstanding = self.total_outstanding();
         self.metrics
             .gauge_set(self.ids.qp_outstanding, now, outstanding as f64);
@@ -2391,6 +2814,7 @@ mod tests {
             spans: None,
             faults: None,
             telemetry: None,
+            profile: None,
         }
     }
 

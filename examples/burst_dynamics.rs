@@ -33,6 +33,7 @@ fn main() {
                 spans: None,
                 faults: None,
                 telemetry: None,
+                profile: None,
             },
         );
         let tl = r.timeline.as_ref().expect("timeline requested");

@@ -23,6 +23,7 @@ fn main() {
         spans: Some(adios::desim::SpanConfig::with_exemplars(95.0, 32)),
         faults: None,
         telemetry: None,
+        profile: None,
     };
     let mut w = ArrayIndexWorkload::new(16_384);
     let res = run_one(SystemConfig::adios(), &mut w, p);

@@ -34,6 +34,7 @@ fn main() {
                     spans: None,
                     faults: None,
                     telemetry: None,
+                    profile: None,
                 },
             );
             let h = result.recorder.overall();
@@ -80,6 +81,7 @@ fn main() {
                     spans: None,
                     faults: None,
                     telemetry: None,
+                    profile: None,
                 },
             );
             total += result.recorder.overall().percentile(99.9) as f64;

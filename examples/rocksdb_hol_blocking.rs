@@ -40,6 +40,7 @@ fn main() {
                 spans: None,
                 faults: None,
                 telemetry: None,
+                profile: None,
             },
         );
         let g = result.recorder.class(CLASS_GET);

@@ -42,6 +42,7 @@ fn main() {
                     spans: None,
                     faults: None,
                     telemetry: None,
+                    profile: None,
                 },
             );
             let h = result.recorder.overall();

@@ -19,6 +19,7 @@ fn params(seed: u64) -> RunParams {
         spans: None,
         faults: None,
         telemetry: None,
+        profile: None,
     }
 }
 
@@ -330,4 +331,46 @@ fn workload_traces_independent_of_system() {
         b.recorder.completed_total(),
         "identical arrival sequences expected"
     );
+}
+
+#[test]
+fn profiler_output_bitwise_reproducible() {
+    // The core profiler inherits the simulation's determinism: equal
+    // seeds must serialise to byte-identical profile JSON, folded
+    // flamegraph text and Perfetto state tracks, standalone and
+    // embedded in the run JSON — and profiler-off runs must carry no
+    // profile block at all (the golden byte-stream test above pins
+    // that path bit for bit).
+    let mut p = params(5);
+    p.profile = Some(adios::desim::ProfileConfig::default());
+    let mut w1 = ArrayIndexWorkload::new(16_384);
+    let mut w2 = ArrayIndexWorkload::new(16_384);
+    let a = run_one(SystemConfig::adios(), &mut w1, p.clone());
+    let b = run_one(SystemConfig::adios(), &mut w2, p.clone());
+    let (pa, pb) = (a.profile.as_ref().unwrap(), b.profile.as_ref().unwrap());
+    assert!(!pa.folded().is_empty(), "flamegraph must have stacks");
+    assert_eq!(pa.folded(), pb.folded(), "folded stacks must match");
+    assert_eq!(pa.to_json(), pb.to_json(), "profile JSON must match");
+    assert_eq!(pa.perfetto_events(), pb.perfetto_events());
+    let ja = adios::core_api::run_json(&a);
+    assert!(
+        ja.contains("\"profile\":{\"window_ns\":"),
+        "run JSON must embed the profile block"
+    );
+    assert_eq!(ja, adios::core_api::run_json(&b));
+
+    // Profiler-off runs say nothing about profiling.
+    let mut w3 = ArrayIndexWorkload::new(16_384);
+    let off = run_one(SystemConfig::adios(), &mut w3, params(5));
+    assert!(
+        !adios::core_api::run_json(&off).contains("\"profile\""),
+        "disabled profiler must leave the run JSON untouched"
+    );
+
+    // A different seed must not collide.
+    let mut w4 = ArrayIndexWorkload::new(16_384);
+    let mut p2 = p.clone();
+    p2.seed = 6;
+    let c = run_one(SystemConfig::adios(), &mut w4, p2);
+    assert_ne!(pa.to_json(), c.profile.as_ref().unwrap().to_json());
 }

@@ -18,6 +18,7 @@ fn params(rps: f64) -> RunParams {
         spans: None,
         faults: None,
         telemetry: None,
+        profile: None,
     }
 }
 

@@ -697,3 +697,120 @@ fn telemetry_rates_survive_the_warmup_rebase_boundary() {
         );
     }
 }
+
+/// Tentpole invariant of the core profiler: every core's timeline is
+/// tiled exhaustively — the typed state durations sum to the
+/// measurement window *exactly* (no gaps, no overlaps), for every
+/// system, with and without faults, across random loads and seeds.
+/// Mirrors the span layer's component-sum identity, one level down.
+#[test]
+fn core_state_tilings_sum_to_window() {
+    use adios::desim::{CoreState, ProfileConfig};
+    let mut gen = Rng::new(0xC03E);
+    for case in 0..8 {
+        let kind = SystemKind::all()[case % 4];
+        let rps = 200_000.0 + gen.gen_f64() * 1_800_000.0;
+        let seed = gen.gen_range(1_000);
+        let faults = (case % 2 == 1).then(FaultScenario::lossy);
+        let mut wl = ArrayIndexWorkload::new(8_192);
+        let r = run_one(
+            SystemConfig::for_kind(kind),
+            &mut wl,
+            RunParams {
+                offered_rps: rps,
+                seed,
+                warmup: SimDuration::from_millis(2),
+                measure: SimDuration::from_millis(6),
+                local_mem_fraction: 0.2,
+                faults,
+                profile: Some(ProfileConfig::default()),
+                ..Default::default()
+            },
+        );
+        let p = r.profile.as_ref().expect("profiler requested");
+        let window = p.window.as_nanos();
+        let ctx = format!("{} rps={rps:.0} seed={seed}", kind.name());
+        assert!(!p.cores.is_empty(), "{ctx}: dispatcher + workers expected");
+        for c in &p.cores {
+            let sum: u64 = CoreState::ALL.iter().map(|&s| c.ns(s)).sum();
+            assert_eq!(
+                sum, window,
+                "{ctx}: core {} state durations must tile the window exactly",
+                c.label
+            );
+            // The flame sub-windows re-tile the same totals: summing a
+            // state across sub-windows reproduces the whole-window value.
+            for (si, &s) in CoreState::ALL.iter().enumerate() {
+                let tiled: u64 = c.tiles.iter().map(|tile| tile[si]).sum();
+                assert_eq!(
+                    tiled,
+                    c.ns(s),
+                    "{ctx}: core {} state {} sub-window split must conserve time",
+                    c.label,
+                    s.name()
+                );
+            }
+        }
+    }
+}
+
+/// Little's law (L = λ·W) cross-checks every instrumented queue on the
+/// clean and lossy scenarios: whenever a queue saw enough traffic for
+/// the law to have statistical teeth (≥ 100 wait samples), the measured
+/// time-averaged depth and the arrival-rate × mean-wait prediction must
+/// agree within the documented tolerance (consistency ≥ 0.7; see
+/// MODEL.md §12).
+#[test]
+fn queue_littles_law_holds_on_none_and_lossy() {
+    use adios::desim::ProfileConfig;
+    for scenario in [None, Some(FaultScenario::lossy())] {
+        for kind in [SystemKind::Dilos, SystemKind::Adios] {
+            let mut wl = ArrayIndexWorkload::new(8_192);
+            let r = run_one(
+                SystemConfig::for_kind(kind),
+                &mut wl,
+                RunParams {
+                    offered_rps: 900_000.0,
+                    seed: 5,
+                    warmup: SimDuration::from_millis(2),
+                    measure: SimDuration::from_millis(8),
+                    local_mem_fraction: 0.2,
+                    faults: scenario.clone(),
+                    profile: Some(ProfileConfig::default()),
+                    ..Default::default()
+                },
+            );
+            let p = r.profile.as_ref().expect("profiler requested");
+            let name = scenario.as_ref().map_or("none", |s| s.name);
+            let mut checked = 0usize;
+            for q in &p.queues {
+                assert!(
+                    (0.0..=1.0 + 1e-9).contains(&q.littles_consistency),
+                    "{} / {name}: queue {} consistency {} out of range",
+                    kind.name(),
+                    q.name,
+                    q.littles_consistency
+                );
+                if q.wait_samples >= 100 {
+                    checked += 1;
+                    assert!(
+                        q.littles_consistency >= 0.7,
+                        "{} / {name}: queue {} violates Little's law: \
+                         depth {:.4} vs {:.1}/s × {:.1} ns (consistency {:.3})",
+                        kind.name(),
+                        q.name,
+                        q.mean_depth,
+                        q.arrival_rate_hz,
+                        q.mean_wait_ns,
+                        q.littles_consistency
+                    );
+                }
+            }
+            assert!(
+                checked > 0,
+                "{} / {name}: at least one queue must carry enough samples to check",
+                kind.name()
+            );
+        }
+    }
+}
