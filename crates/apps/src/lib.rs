@@ -13,6 +13,7 @@
 //! | RocksDB (PlainTable, mmap) | [`ordb`] — sorted log + sparse index | 99 % GET / 1 % SCAN(100) |
 //! | Silo (Caladan variant) | [`silo`] — epoch OCC engine | TPC-C, standard mix |
 //! | Faiss (IndexIVFFlat) | [`vecdb`] — IVF-Flat index | BIGANN-style kNN queries |
+//! | — (tenant-plane extension) | [`llmserve`] — session-table KV cache | LLM prefill/decode serving |
 //!
 //! Datasets are synthetically generated and scaled down from the
 //! paper's (40 GB / 20 GB / 48 GB) footprints; the local-memory *ratio*
@@ -21,11 +22,13 @@
 
 pub mod hashidx;
 pub mod kvs;
+pub mod llmserve;
 pub mod ordb;
 pub mod silo;
 pub mod vecdb;
 
 pub use kvs::{Kvs, MemcachedWorkload};
+pub use llmserve::{LlmServe, LlmServeWorkload};
 pub use ordb::{OrderedDb, RocksDbWorkload};
 pub use silo::{SiloDb, TpccWorkload};
 pub use vecdb::{FaissWorkload, IvfFlat};

@@ -72,6 +72,19 @@ flags:
   --slo <spec>       comma-separated SLO rules (implies --telemetry):
                      lat<OBJ:BUDGET@WINDOW (e.g. lat<20us:0.05@1ms),
                      err<BUDGET@WINDOW, qgrow>FACTOR@WINDOW
+  --tenants <spec>   run the smoke runs under a multi-tenant traffic
+                     plane: `;`-separated `RATE[@BUCKET]:APP:PRIO[:SLO]`
+                     fields (rates take k/m suffixes, @BUCKET enables
+                     token-bucket admission at that rate, APP is
+                     array/kvs/llm, PRIO is hi/lo, SLO is a
+                     lat<OBJ:BUDGET@WINDOW spec), e.g.
+                     `300k:kvs:hi:lat<200us:0.001@10ms;2m@400k:llm:lo`;
+                     prints per-tenant admission/latency tables and the
+                     request-conservation identity
+  --shed-watermark N dispatcher-queue depth beyond which low-priority
+                     arrivals are shed (requires --tenants)
+  --app <name>       workload for single-stream smoke runs:
+                     array (default), kvs, or llm
   --seed N           RNG seed for the smoke runs (unsigned integer,
                      default 1)
   --out-dir <dir>    output directory (default: results)";
@@ -94,6 +107,11 @@ struct Cli {
     bench: bool,
     bench_repeats: usize,
     bench_horizon_ms: u64,
+    tenants: Option<TenantPlane>,
+    /// The raw `--tenants` spec, kept for bench provenance.
+    tenants_spec: Option<String>,
+    shed_watermark: Option<usize>,
+    app: Option<String>,
 }
 
 impl Cli {
@@ -105,6 +123,18 @@ impl Cli {
             || self.shards.is_some()
             || self.telemetry
             || self.profile
+            || self.tenants.is_some()
+            || self.app.is_some()
+    }
+}
+
+/// Resolves a tenant/app name to a smoke-scale workload instance.
+fn app_workload(name: &str) -> Box<dyn Workload> {
+    match name {
+        "array" => Box::new(ArrayIndexWorkload::new(16_384)),
+        "kvs" => Box::new(MemcachedWorkload::new(100_000, 128)),
+        "llm" => Box::new(LlmServeWorkload::new(256, 64)),
+        other => die(&format!("unknown app: {other} (known: array, kvs, llm)")),
     }
 }
 
@@ -131,6 +161,10 @@ fn parse_args(args: &[String]) -> Cli {
         bench: false,
         bench_repeats: 5,
         bench_horizon_ms: 2_000,
+        tenants: None,
+        tenants_spec: None,
+        shed_watermark: None,
+        app: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -236,6 +270,35 @@ fn parse_args(args: &[String]) -> Cli {
                 );
                 cli.telemetry = true;
             }
+            "--tenants" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("--tenants requires a spec"));
+                cli.tenants = Some(
+                    TenantPlane::parse(v)
+                        .unwrap_or_else(|e| die(&format!("invalid --tenants spec: {e}"))),
+                );
+                cli.tenants_spec = Some(v.clone());
+            }
+            "--shed-watermark" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("--shed-watermark requires a value"));
+                let n: usize = v
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("invalid --shed-watermark value: {v}")));
+                if n == 0 {
+                    die("--shed-watermark must be positive");
+                }
+                cli.shed_watermark = Some(n);
+            }
+            "--app" => {
+                let v = it.next().unwrap_or_else(|| die("--app requires a name"));
+                if !matches!(v.as_str(), "array" | "kvs" | "llm") {
+                    die(&format!("unknown app: {v} (known: array, kvs, llm)"));
+                }
+                cli.app = Some(v.clone());
+            }
             "--seed" => {
                 let v = it.next().unwrap_or_else(|| die("--seed requires a value"));
                 cli.seed = Some(v.parse::<u64>().unwrap_or_else(|_| {
@@ -282,9 +345,27 @@ fn smoke_mode(cli: &Cli) {
     let wall_start = Instant::now();
     let mut peak_rps: f64 = 0.0;
     for kind in [SystemKind::Dilos, SystemKind::Adios] {
-        let mut workload = ArrayIndexWorkload::new(16_384);
+        // With a tenant plane, every tenant gets its own app instance
+        // behind a partitioned TenantWorkload; otherwise --app picks the
+        // single-stream workload (array by default).
+        let mut workload: Box<dyn Workload> = match &cli.tenants {
+            Some(plane) => Box::new(TenantWorkload::new(
+                plane.specs.iter().map(|s| app_workload(&s.app)).collect(),
+            )),
+            None => app_workload(cli.app.as_deref().unwrap_or("array")),
+        };
+        let plane = cli.tenants.clone().map(|mut p| {
+            if let Some(w) = cli.shed_watermark {
+                p = p.with_shed_watermark(w);
+            }
+            p
+        });
+        let offered = plane
+            .as_ref()
+            .map_or(800_000.0, TenantPlane::total_rate_rps);
         let mut params = RunParams {
-            offered_rps: 800_000.0,
+            offered_rps: offered,
+            tenants: plane,
             warmup: SimDuration::from_millis(1),
             // The telemetry smoke needs room for a before/during/after
             // SLO arc around the lossy scenario's 5–7 ms episode.
@@ -316,9 +397,64 @@ fn smoke_mode(cli: &Cli) {
         if let Some(n) = cli.shards {
             cfg.memnode_shards = n;
         }
-        let res = run_one(cfg, &mut workload, params);
+        let res = run_one(cfg, &mut *workload, params);
         let system = format!("{kind:?}").to_lowercase();
         peak_rps = peak_rps.max(res.recorder.achieved_rps());
+
+        if res.tenants.len() > 1 {
+            println!(
+                "==== {kind:?}: tenant plane ({} tenants, {:.0} rps offered) ====",
+                res.tenants.len(),
+                offered
+            );
+            println!(
+                "    {:<10} {:<4} {:>12} {:>9} {:>9} {:>9} {:>6} {:>6} {:>10} {:>5}",
+                "tenant",
+                "prio",
+                "offered_rps",
+                "arrivals",
+                "admitted",
+                "complete",
+                "sheds",
+                "drops",
+                "p99.9_ns",
+                "slo"
+            );
+            for t in &res.tenants {
+                println!(
+                    "    {:<10} {:<4} {:>12.0} {:>9} {:>9} {:>9} {:>6} {:>6} {:>10} {:>5}",
+                    t.name,
+                    t.priority,
+                    t.offered_rps,
+                    t.arrivals,
+                    t.admitted,
+                    t.completed,
+                    t.sheds,
+                    t.drops,
+                    t.latency_ns.percentile(99.9),
+                    match t.slo_ok {
+                        Some(true) => "ok",
+                        Some(false) => "MISS",
+                        None => "-",
+                    }
+                );
+            }
+            let c = &res.conservation;
+            println!(
+                "    conservation: {} arrivals = {} completed + {} dropped + {} shed \
+                 + {} aborted + {} in flight ({})",
+                c.arrivals,
+                c.completions,
+                c.drops,
+                c.sheds,
+                c.aborts,
+                c.inflight_at_end,
+                if c.holds() { "holds" } else { "VIOLATED" }
+            );
+            let path = cli.out_dir.join(format!("tenants_{system}.json"));
+            std::fs::write(&path, run_json(&res)).expect("write tenant JSON");
+            println!("wrote {}\n", path.display());
+        }
 
         if let Some(n) = cli.shards.filter(|&n| n > 1) {
             use desim::trace::shard_names as sn;
@@ -620,7 +756,19 @@ fn bench_mode(cli: &Cli) {
         .map(|s| s.trim().to_string())
         .unwrap_or_else(|| "unknown".to_string());
     // `wall_clock_s` and `peak_rps` stay top-level scalars: CI gates
-    // key on exactly those names.
+    // key on exactly those names. Tenant-plane flags ride along inside
+    // provenance only, so the top-level key set never changes.
+    let mut tenant_flags = String::new();
+    if let Some(spec) = &cli.tenants_spec {
+        write!(tenant_flags, " --tenants {spec}").unwrap();
+    }
+    if let Some(w) = cli.shed_watermark {
+        write!(tenant_flags, " --shed-watermark {w}").unwrap();
+    }
+    if let Some(app) = &cli.app {
+        write!(tenant_flags, " --app {app}").unwrap();
+    }
+    let tenant_flags = tenant_flags.replace('"', "\\\"");
     let bench = format!(
         "{{\"name\":\"adios_saturation\",\"repeats\":{},\"horizon_s\":{:.3},\
          \"offered_rps\":{offered:.1},\
@@ -628,7 +776,7 @@ fn bench_mode(cli: &Cli) {
          \"peak_rps\":{:.3},\"peak_rps_min\":{:.3},\"peak_rps_max\":{:.3},\
          \"provenance\":{{\"commit\":\"{commit}\",\"seed\":{seed0},\
          \"bench_repeats\":{},\"bench_horizon_ms\":{},\
-         \"flags\":\"--bench --bench-repeats {} --bench-horizon-ms {} --seed {seed0}\"}}}}\n",
+         \"flags\":\"--bench --bench-repeats {} --bench-horizon-ms {} --seed {seed0}{tenant_flags}\"}}}}\n",
         cli.bench_repeats,
         cli.bench_horizon_ms as f64 / 1e3,
         median(&walls),

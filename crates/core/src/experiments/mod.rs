@@ -53,6 +53,7 @@ pub(crate) fn sweep(
                 faults: None,
                 telemetry: None,
                 profile: None,
+                tenants: None,
             };
             Simulation::new(cfg.clone(), workload, params).run()
         })
@@ -84,6 +85,7 @@ pub(crate) fn run_with_breakdowns(
         faults: None,
         telemetry: None,
         profile: None,
+        tenants: None,
     };
     Simulation::new(cfg.clone(), workload, params).run()
 }

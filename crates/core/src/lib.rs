@@ -31,8 +31,9 @@ pub mod report;
 pub mod scale;
 
 pub use faults::{FaultScenario, FaultStats};
+pub use loadgen::{TenantMix, TenantPlane, TenantPriority, TenantSpec};
 pub use report::{run_json, Expectation, FigureReport, Series};
-pub use runtime::sim::{run_one, RunParams, RunResult};
+pub use runtime::sim::{run_one, Conservation, RunParams, RunResult, TenantWindow};
 pub use runtime::{
     DispatchPolicy, FaultPolicy, PrefetcherKind, QueueModel, Simulation, SystemConfig, SystemKind,
     Workload,
@@ -43,13 +44,15 @@ pub use scale::Scale;
 pub mod prelude {
     pub use crate::report::{Expectation, FigureReport, Series};
     pub use crate::scale::Scale;
-    pub use apps::{FaissWorkload, MemcachedWorkload, RocksDbWorkload, TpccWorkload};
+    pub use apps::{
+        FaissWorkload, LlmServeWorkload, MemcachedWorkload, RocksDbWorkload, TpccWorkload,
+    };
     pub use desim::{SimDuration, SimTime, SloRule, TelemetryConfig};
     pub use faults::FaultScenario;
-    pub use loadgen::LoadPoint;
-    pub use runtime::sim::{run_one, RunParams, RunResult};
+    pub use loadgen::{LoadPoint, TenantPlane, TenantPriority, TenantSpec};
+    pub use runtime::sim::{run_one, Conservation, RunParams, RunResult, TenantWindow};
     pub use runtime::{
         ArrayIndexWorkload, DispatchPolicy, FaultPolicy, PrefetcherKind, QueueModel, Simulation,
-        StridedWorkload, SystemConfig, SystemKind, Workload,
+        StridedWorkload, SystemConfig, SystemKind, TenantWorkload, Workload,
     };
 }

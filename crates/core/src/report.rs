@@ -63,6 +63,47 @@ pub fn run_json(res: &RunResult) -> String {
         }
         out.push_str("],");
     }
+    // Per-tenant window view, only on multi-tenant runs: single-tenant
+    // (and plane-off) output stays byte-identical to the pre-tenant
+    // format.
+    if res.tenants.len() > 1 {
+        out.push_str("\"tenants\":[");
+        for (i, t) in res.tenants.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let slo = match t.slo_ok {
+                Some(true) => "true",
+                Some(false) => "false",
+                None => "null",
+            };
+            let _ = write!(
+                out,
+                "{{\"tenant\":{},\"name\":\"{}\",\"priority\":\"{}\",\"offered_rps\":{:.3},\"arrivals\":{},\"admitted\":{},\"completed\":{},\"sheds\":{},\"drops\":{},\"latency_ns\":{{\"p50\":{},\"p99\":{},\"p999\":{},\"count\":{}}},\"slo_ok\":{}}}",
+                t.tenant,
+                t.name,
+                t.priority,
+                t.offered_rps,
+                t.arrivals,
+                t.admitted,
+                t.completed,
+                t.sheds,
+                t.drops,
+                t.latency_ns.percentile(50.0),
+                t.latency_ns.percentile(99.0),
+                t.latency_ns.percentile(99.9),
+                t.latency_ns.count(),
+                slo
+            );
+        }
+        out.push_str("],");
+        let c = &res.conservation;
+        let _ = write!(
+            out,
+            "\"conservation\":{{\"arrivals\":{},\"completions\":{},\"drops\":{},\"sheds\":{},\"aborts\":{},\"inflight_at_end\":{},\"holds\":{}}},",
+            c.arrivals, c.completions, c.drops, c.sheds, c.aborts, c.inflight_at_end, c.holds()
+        );
+    }
     let _ = write!(out, "\"metrics\":{},", res.metrics.to_json());
     match &res.spans {
         Some(report) => {
@@ -406,6 +447,50 @@ mod tests {
         assert!(json2.contains("\"trace\":null"));
         assert!(json2.contains("\"stages\":null"));
         assert!(json2.contains("\"trace_dropped\":"));
+    }
+
+    #[test]
+    fn run_json_gates_the_tenant_block_on_plane_width() {
+        use desim::SimDuration;
+        use loadgen::{TenantPlane, TenantPriority, TenantSpec};
+        use runtime::config::SystemConfig;
+        use runtime::sim::{run_one, RunParams};
+        use runtime::workload::ArrayIndexWorkload;
+
+        let run = |plane: TenantPlane| {
+            let mut w = ArrayIndexWorkload::new(16_384);
+            let params = RunParams {
+                offered_rps: plane.total_rate_rps(),
+                warmup: SimDuration::from_millis(1),
+                measure: SimDuration::from_millis(2),
+                tenants: Some(plane),
+                ..Default::default()
+            };
+            run_json(&run_one(SystemConfig::adios(), &mut w, params))
+        };
+        let solo = run(TenantPlane::new(vec![TenantSpec::new(
+            300_000.0,
+            "array",
+            TenantPriority::High,
+        )]));
+        assert!(
+            !solo.contains("\"tenants\":["),
+            "single-tenant JSON must keep the pre-tenant shape"
+        );
+        let duo = run(TenantPlane::new(vec![
+            TenantSpec::new(300_000.0, "array", TenantPriority::High),
+            TenantSpec::new(200_000.0, "array", TenantPriority::Low),
+        ]));
+        for key in [
+            "\"tenants\":[",
+            "\"priority\":\"high\"",
+            "\"priority\":\"low\"",
+            "\"slo_ok\":null",
+            "\"conservation\":{",
+            "\"holds\":true",
+        ] {
+            assert!(duo.contains(key), "missing {key}");
+        }
     }
 
     #[test]

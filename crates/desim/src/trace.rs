@@ -466,6 +466,81 @@ pub mod shard_names {
     ];
 }
 
+/// Static per-tenant counter names. Same rationale as [`shard_names`]:
+/// [`Metrics::counter`] takes `&'static str`, so the tenant plane
+/// pre-bakes names for up to [`tenant_names::MAX_TENANTS`] tenants. The
+/// schema is the multi-tenant simulation's contract with external
+/// consumers (the CI multitenant smoke parses these out of the run
+/// JSON): per tenant `N`, the counters `tenantN.arrivals`,
+/// `tenantN.admitted`, `tenantN.completions`, `tenantN.sheds` and
+/// `tenantN.drops`. Single-tenant runs register none of them, keeping
+/// their metrics JSON bit-identical to pre-tenant output.
+pub mod tenant_names {
+    /// Highest tenant count the static name tables cover.
+    pub const MAX_TENANTS: usize = 8;
+
+    /// Requests generated for the tenant (offered load).
+    pub const ARRIVALS: [&str; MAX_TENANTS] = [
+        "tenant0.arrivals",
+        "tenant1.arrivals",
+        "tenant2.arrivals",
+        "tenant3.arrivals",
+        "tenant4.arrivals",
+        "tenant5.arrivals",
+        "tenant6.arrivals",
+        "tenant7.arrivals",
+    ];
+
+    /// Requests that passed admission into the dispatcher queue.
+    pub const ADMITTED: [&str; MAX_TENANTS] = [
+        "tenant0.admitted",
+        "tenant1.admitted",
+        "tenant2.admitted",
+        "tenant3.admitted",
+        "tenant4.admitted",
+        "tenant5.admitted",
+        "tenant6.admitted",
+        "tenant7.admitted",
+    ];
+
+    /// Requests the tenant completed with a reply.
+    pub const COMPLETIONS: [&str; MAX_TENANTS] = [
+        "tenant0.completions",
+        "tenant1.completions",
+        "tenant2.completions",
+        "tenant3.completions",
+        "tenant4.completions",
+        "tenant5.completions",
+        "tenant6.completions",
+        "tenant7.completions",
+    ];
+
+    /// Requests rejected by admission control (token bucket empty or
+    /// low-priority past the shed watermark).
+    pub const SHEDS: [&str; MAX_TENANTS] = [
+        "tenant0.sheds",
+        "tenant1.sheds",
+        "tenant2.sheds",
+        "tenant3.sheds",
+        "tenant4.sheds",
+        "tenant5.sheds",
+        "tenant6.sheds",
+        "tenant7.sheds",
+    ];
+
+    /// Requests lost to queue overflow or fault aborts.
+    pub const DROPS: [&str; MAX_TENANTS] = [
+        "tenant0.drops",
+        "tenant1.drops",
+        "tenant2.drops",
+        "tenant3.drops",
+        "tenant4.drops",
+        "tenant5.drops",
+        "tenant6.drops",
+        "tenant7.drops",
+    ];
+}
+
 /// Renders a slice of trace events as a deterministic JSON array.
 pub fn trace_to_json(events: &[TraceEvent]) -> String {
     let mut out = String::from("[");

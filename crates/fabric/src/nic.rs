@@ -160,7 +160,19 @@ pub struct RdmaNic {
     occ_weighted: u128,
     occ_since: SimTime,
     occ_max: u32,
+    /// Smoothed round-trip time in ns (RFC 6298), fed from
+    /// unretransmitted completions when `params.adaptive_rto` is set.
+    srtt_ns: f64,
+    /// Round-trip time variance in ns (RFC 6298).
+    rttvar_ns: f64,
+    /// RTT samples folded into `srtt_ns` so far; zero means the
+    /// adaptive timer has no estimate and falls back to `params.rto`.
+    rtt_samples: u64,
 }
+
+/// Transport timer granularity: the adaptive RTO never arms finer than
+/// this (RFC 6298's clock-granularity term `G`).
+const RTO_GRANULARITY_NS: u64 = 1_000;
 
 impl RdmaNic {
     /// Creates a NIC with `num_qps` queue pairs; QP *i* initially
@@ -187,6 +199,9 @@ impl RdmaNic {
             occ_weighted: 0,
             occ_since: SimTime::ZERO,
             occ_max: 0,
+            srtt_ns: 0.0,
+            rttvar_ns: 0.0,
+            rtt_samples: 0,
             params,
         }
     }
@@ -212,13 +227,41 @@ impl RdmaNic {
 
     /// The backed-off RTO armed after transmission attempt `attempt`
     /// (0 = the original send): base RTO doubling per retry, capped.
+    ///
+    /// The base is `params.rto` (fixed firmware ladder), or — with
+    /// [`FabricParams::adaptive_rto`] on and at least one RTT sample —
+    /// `SRTT + max(G, 4·RTTVAR)` per RFC 6298, so a warm transport
+    /// detects a lost microsecond-scale fetch in a few µs instead of
+    /// the 16 µs minimum the fixed timer imposes.
     fn rto_backoff(&self, attempt: u32) -> SimDuration {
-        let ns = self
-            .params
-            .rto
-            .as_nanos()
-            .saturating_mul(1u64 << attempt.min(16));
+        let base = if self.params.adaptive_rto && self.rtt_samples > 0 {
+            let rto = self.srtt_ns + (4.0 * self.rttvar_ns).max(RTO_GRANULARITY_NS as f64);
+            (rto.round() as u64).max(RTO_GRANULARITY_NS)
+        } else {
+            self.params.rto.as_nanos()
+        };
+        let ns = base.saturating_mul(1u64 << attempt.min(16));
         SimDuration::from_nanos(ns.min(self.params.rto_cap.as_nanos()).max(1))
+    }
+
+    /// Folds one RTT measurement into SRTT/RTTVAR (RFC 6298 §2, with
+    /// the standard α = 1/8, β = 1/4 gains). Only unretransmitted
+    /// exchanges are sampled (Karn's algorithm), which callers enforce.
+    fn rtt_sample(&mut self, r: SimDuration) {
+        let r = r.as_nanos() as f64;
+        if self.rtt_samples == 0 {
+            self.srtt_ns = r;
+            self.rttvar_ns = r / 2.0;
+        } else {
+            self.rttvar_ns = 0.75 * self.rttvar_ns + 0.25 * (self.srtt_ns - r).abs();
+            self.srtt_ns = 0.875 * self.srtt_ns + 0.125 * r;
+        }
+        self.rtt_samples += 1;
+    }
+
+    /// Smoothed RTT estimate, if the adaptive timer has one.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        (self.rtt_samples > 0).then(|| SimDuration::from_nanos(self.srtt_ns.round() as u64))
     }
 
     /// Extra one-way cost a degraded link adds on top of a FIFO
@@ -346,6 +389,12 @@ impl RdmaNic {
             send_at = timeout_at;
             attempt += 1;
         };
+        // Feed the adaptive timer from delivered, unretransmitted
+        // exchanges only (Karn's algorithm): `done_at - send_at` is the
+        // true wire round-trip of the attempt that produced the CQE.
+        if self.params.adaptive_rto && attempt == 0 && status != CompletionStatus::RetryExceeded {
+            self.rtt_sample(done_at.since(send_at));
+        }
         Ok(Completion {
             qp,
             cq,
@@ -803,6 +852,85 @@ mod tests {
         assert_eq!(nic.outstanding(QpId(0)), 1);
         nic.on_cqe(c.done_at, QpId(0));
         assert_eq!(nic.outstanding(QpId(0)), 0);
+    }
+
+    #[test]
+    fn adaptive_rto_without_samples_matches_legacy_ladder() {
+        // Cold transport: no successful completion has ever been seen,
+        // so the adaptive timer has no estimate and must fall back to
+        // the exact fixed ladder (byte-identity with the knob off).
+        let params = FabricParams {
+            adaptive_rto: true,
+            ..FabricParams::default()
+        };
+        let mut nic = RdmaNic::new(params, 8);
+        let mut mem = MemNode::new(1 << 20, 4096);
+        let c = nic
+            .post(
+                SimTime(0),
+                QpId(0),
+                Verb::Read,
+                7,
+                4096,
+                &mut mem,
+                &mut black_hole(),
+            )
+            .unwrap();
+        assert_eq!(c.status, CompletionStatus::RetryExceeded);
+        assert_eq!(c.done_at.since(c.issued_at).as_nanos(), 1_264_000);
+        assert!(nic.srtt().is_none());
+    }
+
+    #[test]
+    fn adaptive_rto_warm_transport_times_out_in_microseconds() {
+        // Three retries keep the 256 µs backoff cap out of the picture,
+        // so the elapsed ladder reflects the adaptive base directly.
+        let params = FabricParams {
+            adaptive_rto: true,
+            rc_retries: 3,
+            ..FabricParams::default()
+        };
+        let mut nic = RdmaNic::new(params, 8);
+        let mut mem = MemNode::new(1 << 20, 4096);
+        // Warm SRTT/RTTVAR with a few clean fetches (~2.3 µs each).
+        let mut t = SimTime(0);
+        for page in 0..4 {
+            let c = nic
+                .post(t, QpId(0), Verb::Read, page, 4096, &mut mem, &mut inert())
+                .unwrap();
+            nic.on_cqe(c.done_at, QpId(0));
+            t = c.done_at + SimDuration::from_micros(1);
+        }
+        let srtt = nic.srtt().expect("warm transport has an RTT estimate");
+        assert!(
+            (1_500..=3_500).contains(&srtt.as_nanos()),
+            "srtt = {srtt:?}"
+        );
+        // A black-holed fetch now exhausts the retry budget far faster
+        // than the fixed 16 µs base would: the legacy ladder with three
+        // retries is 16+32+64+128 = 240 µs, the adaptive one runs off
+        // a ~5 µs base.
+        let c = nic
+            .post(
+                t,
+                QpId(0),
+                Verb::Read,
+                99,
+                4096,
+                &mut mem,
+                &mut black_hole(),
+            )
+            .unwrap();
+        assert_eq!(c.status, CompletionStatus::RetryExceeded);
+        assert_eq!(c.retransmits, 3);
+        let elapsed = c.done_at.since(c.issued_at).as_nanos();
+        assert!(
+            elapsed < 120_000,
+            "adaptive ladder = {elapsed} ns, expected well under the 240 µs fixed ladder"
+        );
+        // Retransmitted (ambiguous) exchanges never feed the estimator.
+        let srtt_after = nic.srtt().unwrap();
+        assert_eq!(srtt, srtt_after);
     }
 
     #[test]

@@ -39,6 +39,14 @@ pub struct FabricParams {
     pub rc_retries: u32,
     /// Cap on the exponentially backed-off RTO.
     pub rto_cap: SimDuration,
+    /// Adaptive retransmission timer (RFC 6298 style): the transport
+    /// engine tracks SRTT/RTTVAR from unretransmitted completions and
+    /// arms `SRTT + 4·RTTVAR` instead of the fixed [`rto`](Self::rto)
+    /// base once it has a sample. Off by default — the legacy fixed
+    /// 16 µs ladder is what the paper's testbed NIC firmware does, and
+    /// keeping it the default preserves byte-identity of every run
+    /// that predates this knob.
+    pub adaptive_rto: bool,
     /// RX descriptor ring size of the Ethernet port.
     pub rx_ring_entries: usize,
     /// TX engine occupancy per Ethernet transmit.
@@ -63,6 +71,7 @@ impl Default for FabricParams {
             rto: SimDuration::from_micros(16),
             rc_retries: 7,
             rto_cap: SimDuration::from_micros(256),
+            adaptive_rto: false,
             rx_ring_entries: 4096,
             eth_tx_engine: SimDuration::from_nanos(150),
             eth_tx_completion: SimDuration::from_nanos(1_000),

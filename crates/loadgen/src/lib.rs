@@ -10,12 +10,18 @@
 //! - [`Recorder`] — per-class latency histograms, per-request component
 //!   breakdowns (for Figures 2c / 7c), drop accounting and a warm-up
 //!   window;
-//! - [`LoadPoint`] — one point of a latency-vs-throughput sweep.
+//! - [`LoadPoint`] — one point of a latency-vs-throughput sweep;
+//! - [`tenant`] — the multi-tenant traffic plane: [`TenantMix`] merges
+//!   N independent per-tenant arrival sources (Poisson or MMPP, each
+//!   with its own rate, app, priority class and SLO spec) into one
+//!   deterministic stream tagged with tenant ids.
 
 pub mod arrivals;
 pub mod record;
 pub mod sweep;
+pub mod tenant;
 
 pub use arrivals::{BurstyLoop, OpenLoop};
 pub use record::{Breakdown, Recorder};
 pub use sweep::LoadPoint;
+pub use tenant::{TenantMix, TenantPlane, TenantPriority, TenantSpec};

@@ -28,6 +28,7 @@ fn main() {
                 faults: None,
                 telemetry: None,
                 profile: None,
+                tenants: None,
             };
             let mut w = ArrayIndexWorkload::new(pages);
             let res = run_one(SystemConfig::for_kind(kind), &mut w, params);

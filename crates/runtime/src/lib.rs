@@ -25,4 +25,4 @@ pub use config::{
     DispatchPolicy, FaultPolicy, PrefetcherKind, QueueModel, SystemConfig, SystemKind,
 };
 pub use sim::{RunResult, Simulation};
-pub use workload::{ArrayIndexWorkload, MixedWorkload, StridedWorkload, Workload};
+pub use workload::{ArrayIndexWorkload, MixedWorkload, StridedWorkload, TenantWorkload, Workload};

@@ -28,13 +28,16 @@ use desim::telemetry::{
 use desim::trace::{CounterId, GaugeId};
 use desim::{
     EventQueue, FxHashMap, Metrics, MetricsSnapshot, NoopTracer, RingTracer, Rng, SimDuration,
-    SimTime, TraceEvent, Tracer,
+    SimTime, SloRule, TraceEvent, Tracer,
 };
 use fabric::link::Link;
 use fabric::nic::Verb;
 use fabric::{EthPort, FabricParams, MemNode, QpId, RdmaNic, ShardMap};
 use faults::{FaultPlane, FaultScenario, FaultStats};
-use loadgen::{Breakdown, BurstyLoop, LoadPoint, OpenLoop, Recorder};
+use loadgen::{
+    Breakdown, BurstyLoop, LoadPoint, OpenLoop, Recorder, TenantMix, TenantPlane, TenantPriority,
+    TenantSpec,
+};
 use paging::prefetch::{LeapDetector, SeqDetector};
 use paging::reclaim::ReclaimerMode;
 use paging::trace::Trace;
@@ -97,6 +100,18 @@ pub struct RunParams {
     /// and [`desim::profile::QueueProbe`]s watch every queue; the
     /// report lands in [`RunResult::profile`].
     pub profile: Option<ProfileConfig>,
+    /// Multi-tenant traffic plane (None = the legacy single-source
+    /// arrival path, byte-identical to runs predating tenants). When
+    /// set, arrivals come from a [`TenantMix`] merging every tenant's
+    /// own source, each request carries its tenant id, per-tenant
+    /// token-bucket admission and the low-priority shed watermark run
+    /// at dispatcher ingress, and [`RunResult::tenants`] carries the
+    /// per-tenant window accounting. `tenantN.*` counters join the
+    /// registry only when the plane has more than one tenant, so a
+    /// one-tenant plane reproduces the golden capture byte for byte.
+    /// When the plane is set, [`RunParams::burst`] is ignored — burst
+    /// shapes are per-tenant ([`TenantSpec::burst`]).
+    pub tenants: Option<TenantPlane>,
 }
 
 impl Default for RunParams {
@@ -115,6 +130,7 @@ impl Default for RunParams {
             faults: None,
             telemetry: None,
             profile: None,
+            tenants: None,
         }
     }
 }
@@ -276,6 +292,165 @@ pub struct ShardWindow {
     pub fetch_ns: desim::Histogram,
 }
 
+/// Per-tenant counter handles (see [`desim::trace::tenant_names`]).
+/// Registered only on multi-tenant runs: a single-tenant plane must
+/// serialise the exact pre-tenant metrics schema.
+struct TenantMetricIds {
+    arrivals: CounterId,
+    admitted: CounterId,
+    completions: CounterId,
+    sheds: CounterId,
+    drops: CounterId,
+}
+
+impl TenantMetricIds {
+    fn register(m: &mut Metrics, tenant: usize) -> TenantMetricIds {
+        use desim::trace::tenant_names as tn;
+        TenantMetricIds {
+            arrivals: m.counter(tn::ARRIVALS[tenant]),
+            admitted: m.counter(tn::ADMITTED[tenant]),
+            completions: m.counter(tn::COMPLETIONS[tenant]),
+            sheds: m.counter(tn::SHEDS[tenant]),
+            drops: m.counter(tn::DROPS[tenant]),
+        }
+    }
+}
+
+/// One tenant's measurement-window accounting (arrivals, sheds and
+/// drops window on the request's TX instant; completions and latency
+/// window on the reply's RX instant, mirroring the [`Recorder`]).
+#[derive(Debug, Clone, Default)]
+struct TenantAcct {
+    arrivals: u64,
+    admitted: u64,
+    completed: u64,
+    sheds: u64,
+    drops: u64,
+    latency: desim::Histogram,
+}
+
+/// A deterministic token bucket policing one tenant's admissions.
+/// Pure f64 arithmetic, no rng draws: a policed run replays
+/// byte-identically under the same arrival stream.
+#[derive(Debug, Clone)]
+struct TokenBucket {
+    tokens: f64,
+    rate_per_ns: f64,
+    cap: f64,
+    last: SimTime,
+}
+
+impl TokenBucket {
+    fn new(rate_rps: f64, burst: u32) -> TokenBucket {
+        TokenBucket {
+            tokens: burst as f64,
+            rate_per_ns: rate_rps / desim::NS_PER_SEC as f64,
+            cap: burst as f64,
+            last: SimTime::ZERO,
+        }
+    }
+
+    /// Refills for the elapsed time and spends one token if available.
+    fn admit(&mut self, now: SimTime) -> bool {
+        let elapsed = now.saturating_since(self.last).as_nanos() as f64;
+        self.last = now;
+        self.tokens = (self.tokens + elapsed * self.rate_per_ns).min(self.cap);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Per-tenant accounting outcomes (see `Simulation::tenant_note`).
+#[derive(Clone, Copy)]
+enum TenantEvent {
+    Arrival,
+    Admitted,
+    Shed,
+    Drop,
+    Completion,
+}
+
+/// The tenant plane's runtime state (present only when
+/// [`RunParams::tenants`] is set).
+struct TenPlane {
+    specs: Vec<TenantSpec>,
+    /// `true` for low-priority tenants (shed-eligible, served last).
+    lo: Vec<bool>,
+    /// Dispatcher-queue depth beyond which low-priority arrivals shed.
+    shed_watermark: Option<usize>,
+    /// Per-tenant admission buckets (None = no policing).
+    buckets: Vec<Option<TokenBucket>>,
+    /// Per-tenant counter handles; empty on single-tenant planes
+    /// (schema compatibility — see [`TenantMetricIds`]).
+    ids: Vec<TenantMetricIds>,
+    acct: Vec<TenantAcct>,
+}
+
+/// One tenant's measurement-window view (one entry per tenant in
+/// [`RunResult::tenants`] whenever the plane was on).
+#[derive(Debug, Clone)]
+pub struct TenantWindow {
+    /// Tenant id (index into the plane's spec list).
+    pub tenant: usize,
+    /// Display name from the spec.
+    pub name: String,
+    /// Priority class name (`"high"` / `"low"`).
+    pub priority: &'static str,
+    /// The tenant's configured offered rate.
+    pub offered_rps: f64,
+    /// Arrivals whose TX instant fell in the window.
+    pub arrivals: u64,
+    /// Arrivals that passed admission (token bucket + watermark).
+    pub admitted: u64,
+    /// Requests completing (reply RX) inside the window.
+    pub completed: u64,
+    /// Arrivals rejected by admission control.
+    pub sheds: u64,
+    /// Arrivals lost to queue overflow or fetch-chain aborts.
+    pub drops: u64,
+    /// End-to-end latency of the tenant's windowed completions.
+    pub latency_ns: desim::Histogram,
+    /// Verdict of the tenant's latency SLO rules over the window
+    /// histogram (None = the spec carries no latency rule): for each
+    /// `lat<OBJ:BUDGET@WINDOW` rule, the fraction of completions over
+    /// `OBJ` must not exceed `BUDGET`.
+    pub slo_ok: Option<bool>,
+}
+
+/// End-of-run request conservation: every generated arrival is exactly
+/// one of completed, overflow-dropped, shed, aborted, or still live
+/// when the drain window closed. Tracked unconditionally (plain
+/// counters, no registry entries) and debug-asserted at run end.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Conservation {
+    /// Requests generated by the arrival source.
+    pub arrivals: u64,
+    /// Requests that completed with a reply.
+    pub completions: u64,
+    /// Requests dropped on queue overflow (RX ring or pending cap).
+    pub drops: u64,
+    /// Requests shed by tenant admission control.
+    pub sheds: u64,
+    /// Requests aborted after fetch-chain exhaustion.
+    pub aborts: u64,
+    /// Requests still allocated when the run stopped draining.
+    pub inflight_at_end: u64,
+}
+
+impl Conservation {
+    /// Whether the identity
+    /// `arrivals == completions + drops + sheds + aborts + inflight_at_end`
+    /// holds.
+    pub fn holds(&self) -> bool {
+        self.arrivals
+            == self.completions + self.drops + self.sheds + self.aborts + self.inflight_at_end
+    }
+}
+
 /// Result of one run.
 pub struct RunResult {
     /// Latency recorder (per-class histograms, breakdowns, drops).
@@ -313,6 +488,12 @@ pub struct RunResult {
     /// Per-shard window accounting, one entry per configured memnode
     /// shard (a single entry on unsharded runs).
     pub shards: Vec<ShardWindow>,
+    /// Per-tenant window accounting, one entry per tenant of the plane
+    /// (empty when the run had no tenant plane — see
+    /// [`RunParams::tenants`]).
+    pub tenants: Vec<TenantWindow>,
+    /// End-of-run request conservation, tracked on every run.
+    pub conservation: Conservation,
     /// Continuous-telemetry report: bucketed counter/gauge series, SLO
     /// event log, per-QP/per-shard health trajectories, and fault
     /// episode annotations (present when [`RunParams::telemetry`] was
@@ -432,6 +613,16 @@ struct TelemBridge {
     qp_prev: Vec<FetchTally>,
     shard_tally: Vec<FetchTally>,
     shard_prev: Vec<FetchTally>,
+    /// Per-tenant arrival/shed tallies (multi-tenant runs with
+    /// telemetry only; `fetches` carries arrivals and `errors` carries
+    /// sheds — the health bridge reads them as offered load and
+    /// admission failures).
+    tenant_tally: Vec<FetchTally>,
+    tenant_prev: Vec<FetchTally>,
+    /// Expected arrivals per telemetry tick for each tenant (its
+    /// configured rate × the tick period) — the capacity term of the
+    /// tenant's health score.
+    tenant_per_tick: Vec<f64>,
 }
 
 /// Per-request prefetch-pattern detector.
@@ -465,6 +656,8 @@ impl Detector {
 struct Req {
     trace: Trace,
     step: usize,
+    /// Tenant the request belongs to (0 on single-source runs).
+    tenant: u16,
     /// Load-generator hardware TX timestamp.
     tx_time: SimTime,
     /// When the request last started running on a worker (preemption
@@ -525,17 +718,21 @@ enum ReclaimState {
     Scheduled,
 }
 
-/// The arrival source (Poisson or MMPP).
+/// The arrival source (Poisson, MMPP, or a merged multi-tenant mix).
 enum Arrivals {
     Poisson(OpenLoop),
     Bursty(BurstyLoop),
+    Tenant(TenantMix),
 }
 
 impl Arrivals {
-    fn next_arrival(&mut self) -> SimTime {
+    /// Next arrival instant and the tenant it belongs to (tenant 0 for
+    /// the single-source legacy paths).
+    fn next_arrival(&mut self) -> (SimTime, u16) {
         match self {
-            Arrivals::Poisson(p) => p.next_arrival(),
-            Arrivals::Bursty(b) => b.next_arrival(),
+            Arrivals::Poisson(p) => (p.next_arrival(), 0),
+            Arrivals::Bursty(b) => (b.next_arrival(), 0),
+            Arrivals::Tenant(m) => m.next_arrival(),
         }
     }
 }
@@ -625,6 +822,24 @@ pub struct Simulation<'w> {
     obs_mask: u8,
     workers: Vec<Worker>,
     pending: VecDeque<usize>,
+    /// Low-priority central queue, used only when a tenant plane is
+    /// on: the dispatcher serves `pending` (high priority) first.
+    /// Empty — and never touched — on plane-off runs, so the legacy
+    /// path is byte-identical.
+    pending_lo: VecDeque<usize>,
+    /// Priority-split dispatcher ingress, used only when a tenant
+    /// plane is on: arrivals waiting for their admit tick are popped
+    /// high-priority-first instead of FIFO, so a high-priority request
+    /// never queues behind a low-priority backlog at admission. Admit
+    /// tick *timing* is unchanged — only the identity served at each
+    /// tick is reordered. Empty on plane-off runs.
+    ingress_hi: VecDeque<usize>,
+    ingress_lo: VecDeque<usize>,
+    /// Tenant-plane runtime state (None = plane off).
+    tenplane: Option<TenPlane>,
+    /// Request-conservation tallies (`inflight_at_end` is derived at
+    /// run end from the live request slots).
+    cons: Conservation,
     rr_next: usize,
     dispatcher_free: SimTime,
     admission_backlog: usize,
@@ -739,6 +954,41 @@ impl<'w> Simulation<'w> {
         };
         let shard_map = ShardMap::new(shards, replicas, total_pages, cfg.shard_policy);
 
+        // Tenant plane: the merged arrival mix is built from the spec
+        // list, and per-tenant counter names join the registry only
+        // when the plane has more than one tenant (a one-tenant plane
+        // must serialise the exact pre-tenant schema). Registration
+        // happens here — before the flight recorder below — so
+        // telemetry runs sample the tenant counters too.
+        let plane = params.tenants.take();
+        let tenant_mix = plane.as_ref().map(|p| TenantMix::new(p, params.seed));
+        let tenplane = plane.map(|p| {
+            let n = p.specs.len();
+            let ids = if n > 1 {
+                (0..n)
+                    .map(|t| TenantMetricIds::register(&mut metrics, t))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            TenPlane {
+                lo: p
+                    .specs
+                    .iter()
+                    .map(|s| s.priority == TenantPriority::Low)
+                    .collect(),
+                buckets: p
+                    .specs
+                    .iter()
+                    .map(|s| s.bucket_rps.map(|r| TokenBucket::new(r, s.bucket_burst)))
+                    .collect(),
+                acct: vec![TenantAcct::default(); n],
+                ids,
+                shed_watermark: p.shed_watermark,
+                specs: p.specs,
+            }
+        });
+
         // Dispatcher utilization joins the registry only when an
         // observer (telemetry or the profiler) wants it: the default
         // schema must stay byte-identical to the golden capture.
@@ -800,12 +1050,30 @@ impl<'w> Simulation<'w> {
             for s in 0..shards {
                 rec.register_health(format!("shard{s}"));
             }
+            // Tenant health entities follow the shards, mirroring the
+            // counter-registration gate: multi-tenant planes only.
+            let tenants = tenplane.as_ref().map_or(0, |tp| {
+                if tp.specs.len() > 1 {
+                    tp.specs.len()
+                } else {
+                    0
+                }
+            });
+            for t in 0..tenants {
+                rec.register_health(format!("tenant{t}"));
+            }
+            let tick_s = rec.tick_period().as_secs_f64();
             TelemBridge {
+                tenant_per_tick: (0..tenants)
+                    .map(|t| tenplane.as_ref().expect("tenants > 0").specs[t].rate_rps * tick_s)
+                    .collect(),
                 rec,
                 qp_tally: vec![FetchTally::default(); cfg.workers],
                 qp_prev: vec![FetchTally::default(); cfg.workers],
                 shard_tally: vec![FetchTally::default(); shards],
                 shard_prev: vec![FetchTally::default(); shards],
+                tenant_tally: vec![FetchTally::default(); tenants],
+                tenant_prev: vec![FetchTally::default(); tenants],
             }
         });
 
@@ -848,14 +1116,17 @@ impl<'w> Simulation<'w> {
             plane,
             plane_start: FaultStats::default(),
             cache,
-            arrivals: match params.burst {
-                None => Arrivals::Poisson(OpenLoop::new(params.offered_rps, params.seed)),
-                Some((peak, phase)) => Arrivals::Bursty(BurstyLoop::new(
-                    params.offered_rps,
-                    peak,
-                    phase,
-                    params.seed,
-                )),
+            arrivals: match tenant_mix {
+                Some(mix) => Arrivals::Tenant(mix),
+                None => match params.burst {
+                    None => Arrivals::Poisson(OpenLoop::new(params.offered_rps, params.seed)),
+                    Some((peak, phase)) => Arrivals::Bursty(BurstyLoop::new(
+                        params.offered_rps,
+                        peak,
+                        phase,
+                        params.seed,
+                    )),
+                },
             },
             recorder,
             rng,
@@ -865,6 +1136,11 @@ impl<'w> Simulation<'w> {
             obs_mask,
             workers,
             pending: VecDeque::new(),
+            pending_lo: VecDeque::new(),
+            ingress_hi: VecDeque::new(),
+            ingress_lo: VecDeque::new(),
+            tenplane,
+            cons: Conservation::default(),
             rr_next: 0,
             dispatcher_free: SimTime::ZERO,
             admission_backlog: 0,
@@ -1082,6 +1358,37 @@ impl<'w> Simulation<'w> {
                 );
             }
         }
+        // Request conservation: every arrival the source generated must
+        // be exactly one of completed / dropped / shed / aborted /
+        // still live. Live slots at drain end are the in-flight term.
+        self.cons.inflight_at_end = self.reqs.iter().filter(|r| r.is_some()).count() as u64;
+        debug_assert!(
+            self.cons.holds(),
+            "request conservation violated: {:?}",
+            self.cons
+        );
+        let tenants = match self.tenplane.take() {
+            None => Vec::new(),
+            Some(tp) => tp
+                .specs
+                .iter()
+                .zip(tp.acct)
+                .enumerate()
+                .map(|(t, (spec, acct))| TenantWindow {
+                    tenant: t,
+                    name: spec.name.clone(),
+                    priority: spec.priority.name(),
+                    offered_rps: spec.rate_rps,
+                    arrivals: acct.arrivals,
+                    admitted: acct.admitted,
+                    completed: acct.completed,
+                    sheds: acct.sheds,
+                    drops: acct.drops,
+                    slo_ok: slo_verdict(&spec.slo, &acct.latency),
+                    latency_ns: acct.latency,
+                })
+                .collect(),
+        };
         RunResult {
             recorder: self.recorder,
             rdma_data_util: data_util,
@@ -1097,6 +1404,8 @@ impl<'w> Simulation<'w> {
             timeline: self.timeline,
             spans: self.span_store.map(SpanStore::finish),
             shards: shard_windows,
+            tenants,
+            conservation: self.cons,
             telemetry,
             profile,
         }
@@ -1343,24 +1652,30 @@ impl<'w> Simulation<'w> {
     // ----- arrivals and dispatch ---------------------------------------
 
     fn schedule_next_arrival(&mut self) {
-        let tx = self.arrivals.next_arrival();
+        let (tx, tenant) = self.arrivals.next_arrival();
         if tx >= self.gen_end {
             return;
         }
         // Recycle a retired request's step buffer when one is free.
         let mut trace = self.trace_pool.pop().unwrap_or_default();
-        self.workload.next_request_into(&mut self.rng, &mut trace);
+        // Route the draw through the tenant-aware hook: the default
+        // implementation delegates straight to `next_request_into`, so
+        // plane-off runs draw the identical rng stream.
+        self.workload
+            .next_request_for(tenant as usize, &mut self.rng, &mut trace);
         let req_bytes = trace.request_bytes;
-        let id = self.alloc_req(trace, tx);
+        let id = self.alloc_req(trace, tx, tenant);
+        self.cons.arrivals += 1;
         let delivered = self.eth.deliver_request(tx, req_bytes);
         self.events.push(delivered, Ev::Arrival { req: id });
     }
 
-    fn alloc_req(&mut self, trace: Trace, tx: SimTime) -> usize {
+    fn alloc_req(&mut self, trace: Trace, tx: SimTime, tenant: u16) -> usize {
         let spans = self.span_store.as_mut().map(|s| s.builder(trace.class, tx));
         let req = Req {
             trace,
             step: 0,
+            tenant,
             tx_time: tx,
             sched_epoch: tx,
             worker: usize::MAX,
@@ -1479,6 +1794,24 @@ impl<'w> Simulation<'w> {
                 degraded_queue: self.deferred_writebacks[s].len() as f64,
             });
         }
+        // Per-tenant health rows (registered only for multi-tenant
+        // planes): "outstanding" is the tick's arrival count against the
+        // tenant's configured per-tick rate, "errors" are sheds.
+        for t in 0..b.tenant_tally.len() {
+            let d = b.tenant_tally[t].since(&b.tenant_prev[t]);
+            b.tenant_prev[t] = b.tenant_tally[t];
+            health.push(HealthInput {
+                outstanding: d.fetches as f64,
+                capacity: b.tenant_per_tick[t].max(1.0),
+                error_chains: d.errors as f64,
+                retransmit_rate: if d.fetches > 0 {
+                    d.errors as f64 / d.fetches as f64
+                } else {
+                    0.0
+                },
+                degraded_queue: 0.0,
+            });
+        }
         b.rec.tick(now, &self.metrics, &health, &mut *self.tracer);
         let next = now + b.rec.tick_period();
         if next <= self.measure_end {
@@ -1505,9 +1838,134 @@ impl<'w> Simulation<'w> {
         }
     }
 
+    // ----- tenant plane --------------------------------------------------
+
+    /// Books one tenant-plane event: bumps the tenant's registry
+    /// counter (multi-tenant runs only — see [`TenantMetricIds`]) and
+    /// its window accounting. Arrivals, sheds and drops window on the
+    /// TX instant; completions on the reply RX instant. One branch
+    /// when the plane is off.
+    #[inline]
+    fn tenant_note(&mut self, tenant: u16, ev: TenantEvent, at: SimTime, latency_ns: u64) {
+        let Some(tp) = &mut self.tenplane else { return };
+        let t = tenant as usize;
+        if let Some(ids) = tp.ids.get(t) {
+            let id = match ev {
+                TenantEvent::Arrival => ids.arrivals,
+                TenantEvent::Admitted => ids.admitted,
+                TenantEvent::Shed => ids.sheds,
+                TenantEvent::Drop => ids.drops,
+                TenantEvent::Completion => ids.completions,
+            };
+            self.metrics.inc(id);
+        }
+        if at < self.warmup_end || at >= self.measure_end {
+            return;
+        }
+        let a = &mut tp.acct[t];
+        match ev {
+            TenantEvent::Arrival => a.arrivals += 1,
+            TenantEvent::Admitted => a.admitted += 1,
+            TenantEvent::Shed => a.sheds += 1,
+            TenantEvent::Drop => a.drops += 1,
+            TenantEvent::Completion => {
+                a.completed += 1;
+                a.latency.record(latency_ns);
+            }
+        }
+    }
+
+    /// Tallies a tenant arrival (or shed) for telemetry health
+    /// scoring (one branch when telemetry is off or single-tenant).
+    #[inline]
+    fn telem_tenant(&mut self, tenant: u16, shed: bool) {
+        if let Some(b) = &mut self.telem {
+            if let Some(t) = b.tenant_tally.get_mut(tenant as usize) {
+                if shed {
+                    t.errors += 1;
+                } else {
+                    t.fetches += 1;
+                }
+            }
+        }
+    }
+
+    /// Combined central-queue depth across both priority classes.
+    #[inline]
+    fn pending_depth(&self) -> usize {
+        self.pending.len() + self.pending_lo.len()
+    }
+
+    /// Enqueues an admitted request into its priority class's central
+    /// queue (everything is high-priority with the plane off, so the
+    /// legacy path never touches `pending_lo`).
+    #[inline]
+    fn push_pending(&mut self, req: usize) {
+        let lo = match &self.tenplane {
+            Some(tp) => {
+                tp.lo[self.reqs[req].as_ref().expect("dangling request id").tenant as usize]
+            }
+            None => false,
+        };
+        if lo {
+            self.pending_lo.push_back(req);
+        } else {
+            self.pending.push_back(req);
+        }
+    }
+
+    /// Dequeues the next central-queue request: every queued
+    /// high-priority request is served before any low-priority one.
+    #[inline]
+    fn pop_pending(&mut self) -> Option<usize> {
+        self.pending
+            .pop_front()
+            .or_else(|| self.pending_lo.pop_front())
+    }
+
+    /// Tenant admission at dispatcher ingress: the tenant's token
+    /// bucket first, then the low-priority shed watermark. Returns
+    /// `true` when the request was shed and fully retired here. Shed
+    /// requests never enter a latency histogram but stay in the
+    /// offered-load accounting ([`Recorder::drop_request`]); the
+    /// explicit outcome is visible as `tenantN.sheds` counters, the
+    /// `dispatch/shed` trace event and [`Conservation::sheds`].
+    fn tenant_admission(&mut self, now: SimTime, req: usize) -> bool {
+        if self.tenplane.is_none() {
+            return false;
+        }
+        let tenant = self.reqs[req].as_ref().expect("dangling request id").tenant;
+        // Watermark depth is the full dispatcher ingress picture:
+        // requests waiting for their admit tick plus both central
+        // queues. Under dispatcher-bound overload the backlog pools in
+        // `admission_backlog` before it ever reaches `pending`.
+        let depth = self.pending_depth() + self.admission_backlog;
+        let shed = {
+            let tp = self.tenplane.as_mut().expect("checked above");
+            let t = tenant as usize;
+            let refused = match &mut tp.buckets[t] {
+                Some(b) => !b.admit(now),
+                None => false,
+            };
+            refused || (tp.lo[t] && tp.shed_watermark.is_some_and(|wm| depth >= wm))
+        };
+        if !shed {
+            return false;
+        }
+        let tx = self.req(req).tx_time;
+        self.recorder.drop_request(tx);
+        self.discard_spans(req);
+        self.free_req(req);
+        self.cons.sheds += 1;
+        self.tenant_note(tenant, TenantEvent::Shed, tx, 0);
+        self.telem_tenant(tenant, true);
+        self.trace(now, "dispatch", "shed", req as u64, tenant as u64);
+        true
+    }
+
     fn on_arrival(&mut self, now: SimTime, req: usize) {
         self.schedule_next_arrival();
-        let depth = self.pending.len()
+        let depth = self.pending_depth()
             + self
                 .workers
                 .iter()
@@ -1530,20 +1988,43 @@ impl<'w> Simulation<'w> {
         if let Some(sb) = self.sb(req) {
             sb.phase(stage::NET, now);
         }
+        // Tenant-plane ingress: book the arrival, then run admission
+        // (token bucket + low-priority shed watermark). All of this is
+        // branch-only when the plane is off.
+        let (tenant, tx) = {
+            let r = self.reqs[req].as_ref().expect("dangling request id");
+            (r.tenant, r.tx_time)
+        };
+        self.tenant_note(tenant, TenantEvent::Arrival, tx, 0);
+        self.telem_tenant(tenant, false);
+        if self.tenant_admission(now, req) {
+            return;
+        }
         match self.cfg.queue_model {
             QueueModel::SingleQueue => {
                 if self.admission_backlog >= self.cfg.fabric.rx_ring_entries
-                    || self.pending.len() >= self.cfg.pending_cap
+                    || self.pending_depth() >= self.cfg.pending_cap
                 {
-                    let tx = self.req(req).tx_time;
                     self.recorder.drop_request(tx);
                     self.discard_spans(req);
                     self.free_req(req);
                     self.metrics.inc(self.ids.drops);
+                    self.cons.drops += 1;
+                    self.tenant_note(tenant, TenantEvent::Drop, tx, 0);
                     self.trace(now, "dispatch", "drop", req as u64, 0);
                     return;
                 }
                 self.admission_backlog += 1;
+                if let Some(tp) = &self.tenplane {
+                    // Priority-split ingress: the admit tick below pops
+                    // hi-first (see `on_admit`), so the `req` carried by
+                    // the event is only the plane-off identity.
+                    if tp.lo[tenant as usize] {
+                        self.ingress_lo.push_back(req);
+                    } else {
+                        self.ingress_hi.push_back(req);
+                    }
+                }
                 let start = self.dispatcher_free.max(now);
                 self.dispatcher_free = start + self.cfg.dispatch_cost + self.cfg.client_stack;
                 self.dispatcher_busy(start, self.dispatcher_free, CoreState::Dispatch);
@@ -1554,39 +2035,58 @@ impl<'w> Simulation<'w> {
                 let w = self.rng.gen_range(self.cfg.workers as u64) as usize;
                 let cap = (self.cfg.pending_cap / self.cfg.workers).max(16);
                 if self.workers[w].local_queue.len() >= cap {
-                    let tx = self.req(req).tx_time;
                     self.recorder.drop_request(tx);
                     self.discard_spans(req);
                     self.free_req(req);
                     self.metrics.inc(self.ids.drops);
+                    self.cons.drops += 1;
+                    self.tenant_note(tenant, TenantEvent::Drop, tx, 0);
                     self.trace(now, "dispatch", "drop", req as u64, w as u64);
                     return;
                 }
                 self.workers[w].local_queue.push_back(req);
+                self.tenant_note(tenant, TenantEvent::Admitted, tx, 0);
                 self.try_run_local(now, w);
             }
         }
     }
 
     fn on_admit(&mut self, now: SimTime, req: usize) {
+        // With a tenant plane on, the admit tick serves the ingress
+        // queues hi-first; the event's own `req` is one of the queued
+        // entries (ticks and pushes are one-to-one), just not
+        // necessarily the one admitted now.
+        let req = if self.tenplane.is_some() {
+            self.ingress_hi
+                .pop_front()
+                .or_else(|| self.ingress_lo.pop_front())
+                .expect("admit tick without a queued ingress request")
+        } else {
+            req
+        };
         self.admission_backlog -= 1;
         // Dispatcher admission work: delivery → admit.
         if let Some(sb) = self.sb(req) {
             sb.phase(stage::DISPATCH, now);
         }
         self.q_ingress(now, true);
-        self.pending.push_back(req);
+        let (tenant, tx) = {
+            let r = self.reqs[req].as_ref().expect("dangling request id");
+            (r.tenant, r.tx_time)
+        };
+        self.tenant_note(tenant, TenantEvent::Admitted, tx, 0);
+        self.push_pending(req);
         self.try_dispatch(now);
     }
 
     /// Algorithm 1 (PF-aware) or round-robin dispatch of pending
     /// requests to idle workers.
     fn try_dispatch(&mut self, now: SimTime) {
-        while !self.pending.is_empty() {
+        while self.pending_depth() > 0 {
             let Some(w) = self.pick_idle_worker() else {
                 return;
             };
-            let req = self.pending.pop_front().expect("non-empty pending");
+            let req = self.pop_pending().expect("non-empty pending");
             self.q_ingress(now, false);
             let start = self.dispatcher_free.max(now);
             let hstart = start.max(self.workers[w].free_at);
@@ -1788,12 +2288,17 @@ impl<'w> Simulation<'w> {
                 // request cannot make progress and is dropped, exactly
                 // as a real runtime would surface an I/O error to the
                 // application after burning the full retry ladder.
-                let tx = self.req(req).tx_time;
+                let (tenant, tx) = {
+                    let r = self.reqs[req].as_ref().expect("dangling request id");
+                    (r.tenant, r.tx_time)
+                };
                 self.recorder.drop_request(tx);
                 self.discard_spans(req);
                 self.free_req(req);
                 self.metrics.inc(self.ids.drops);
                 self.metrics.inc(self.ids.fetch_aborts);
+                self.cons.aborts += 1;
+                self.tenant_note(tenant, TenantEvent::Drop, tx, 0);
                 self.trace(now, "fault", "abort", w as u64, req as u64);
                 self.worker_pick_next(w, now);
             }
@@ -1834,7 +2339,7 @@ impl<'w> Simulation<'w> {
                 t += cost;
                 self.wprof_phase(w, CoreState::CtxSwitch, t);
                 self.q_ingress(t, true);
-                self.pending.push_back(req);
+                self.push_pending(req);
                 self.worker_pick_next(w, t);
                 return;
             }
@@ -2427,15 +2932,17 @@ impl<'w> Simulation<'w> {
                 debug_assert!(evicted.is_some());
                 self.trace(now, "fault", "fetch_failed", w as u64, page);
                 for waiter in info.waiters {
-                    let (tx, home) = {
+                    let (tenant, tx, home) = {
                         let r = self.req(waiter);
-                        (r.tx_time, r.worker)
+                        (r.tenant, r.tx_time, r.worker)
                     };
                     self.recorder.drop_request(tx);
                     self.discard_spans(waiter);
                     self.free_req(waiter);
                     self.metrics.inc(self.ids.drops);
                     self.metrics.inc(self.ids.fetch_aborts);
+                    self.cons.aborts += 1;
+                    self.tenant_note(tenant, TenantEvent::Drop, tx, 0);
                     let idle = !self.workers[home].busy;
                     self.prof_unpark(home, now, idle);
                 }
@@ -2500,7 +3007,7 @@ impl<'w> Simulation<'w> {
         }
         match self.cfg.queue_model {
             QueueModel::SingleQueue => {
-                if let Some(req) = self.pending.pop_front() {
+                if let Some(req) = self.pop_pending() {
                     self.q_ingress(t, false);
                     let start = self.dispatcher_free.max(t);
                     let wake = start + self.cfg.handoff_cost;
@@ -2633,9 +3140,9 @@ impl<'w> Simulation<'w> {
             self.trace(t, "worker", "spin", w as u64, spin.as_nanos());
             t = t.max(tx.cqe_at);
         }
-        let (class, tx_time) = {
+        let (class, tx_time, tenant) = {
             let r = self.req(req);
-            (r.trace.class, r.tx_time)
+            (r.trace.class, r.tx_time, r.tenant)
         };
         let rx = tx.client_rx_at;
         // Close the tree (reply flight to the client is the final NET
@@ -2663,6 +3170,13 @@ impl<'w> Simulation<'w> {
         self.recorder.complete(class, tx_time, rx, b);
         self.free_req(req);
         self.metrics.inc(self.ids.completions);
+        self.cons.completions += 1;
+        self.tenant_note(
+            tenant,
+            TenantEvent::Completion,
+            rx,
+            rx.saturating_since(tx_time).as_nanos(),
+        );
         self.trace(t, "worker", "complete", w as u64, req as u64);
         self.worker_pick_next(w, t);
     }
@@ -2784,6 +3298,29 @@ impl<'w> Simulation<'w> {
     }
 }
 
+/// Evaluates a tenant's latency SLO rules over its window histogram:
+/// a `lat<OBJ:BUDGET@WINDOW` rule allows at most a `BUDGET` fraction of
+/// completions over `OBJ` — equivalently, the `(1 − BUDGET)`-quantile
+/// must sit at or under the objective. Returns `None` when the spec
+/// carries no latency rule or no completion landed in the window.
+fn slo_verdict(rules: &[SloRule], latency: &desim::Histogram) -> Option<bool> {
+    let mut verdict = None;
+    for rule in rules {
+        if let SloRule::LatencyBurn {
+            objective, budget, ..
+        } = rule
+        {
+            if latency.count() == 0 {
+                continue;
+            }
+            let q = ((1.0 - budget) * 100.0).clamp(0.0, 100.0);
+            let ok = latency.percentile(q) <= objective.as_nanos();
+            verdict = Some(verdict.unwrap_or(true) && ok);
+        }
+    }
+    verdict
+}
+
 /// Convenience: build and run one experiment.
 pub fn run_one(cfg: SystemConfig, workload: &mut dyn Workload, params: RunParams) -> RunResult {
     Simulation::new(cfg, workload, params).run()
@@ -2815,6 +3352,7 @@ mod tests {
             faults: None,
             telemetry: None,
             profile: None,
+            tenants: None,
         }
     }
 
@@ -3495,5 +4033,136 @@ mod tests {
         };
         let mut w = small_workload();
         let _ = run_one(cfg, &mut w, quick_params(100_000.0));
+    }
+
+    // ----- tenant plane --------------------------------------------------
+
+    use loadgen::{TenantPlane, TenantPriority, TenantSpec};
+
+    fn tenant_params(plane: TenantPlane) -> RunParams {
+        RunParams {
+            offered_rps: plane.total_rate_rps(),
+            tenants: Some(plane),
+            ..quick_params(0.0)
+        }
+    }
+
+    #[test]
+    fn single_tenant_plane_registers_no_tenant_counters() {
+        use desim::trace::tenant_names as tn;
+        let plane = TenantPlane::new(vec![TenantSpec::new(
+            400_000.0,
+            "array",
+            TenantPriority::High,
+        )]);
+        let mut w = small_workload();
+        let res = run_one(SystemConfig::adios(), &mut w, tenant_params(plane));
+        assert!(
+            res.metrics.counter(tn::ARRIVALS[0]).is_none(),
+            "tenantN.* counters must stay out of single-tenant registries"
+        );
+        assert_eq!(res.tenants.len(), 1, "the lone tenant still gets a window");
+        let t = &res.tenants[0];
+        assert_eq!(t.priority, "high");
+        assert!(
+            t.completed > 1_000,
+            "tenant saw {} completions",
+            t.completed
+        );
+        assert_eq!(t.completed, res.recorder.completed_in_window());
+        assert_eq!(t.sheds + t.drops, 0);
+        assert!(t.slo_ok.is_none(), "no SLO rule, no verdict");
+        assert!(res.conservation.holds());
+        assert!(res.conservation.sheds == 0 && res.conservation.aborts == 0);
+    }
+
+    #[test]
+    fn overloaded_mix_sheds_low_priority_and_conserves_requests() {
+        use desim::trace::tenant_names as tn;
+        // A high-priority tenant comfortably inside capacity plus a
+        // low-priority flood far past saturation, with the watermark
+        // set low enough to engage: shedding must land entirely on the
+        // flood while the partition identities hold.
+        let plane = TenantPlane::new(vec![
+            TenantSpec::new(300_000.0, "array", TenantPriority::High),
+            TenantSpec::new(6_000_000.0, "array", TenantPriority::Low),
+        ])
+        .with_shed_watermark(64);
+        let mut w = small_workload();
+        let res = run_one(SystemConfig::adios(), &mut w, tenant_params(plane));
+        assert_eq!(res.tenants.len(), 2);
+        let (hi, lo) = (&res.tenants[0], &res.tenants[1]);
+        assert_eq!(hi.sheds, 0, "watermark must never shed high priority");
+        assert!(lo.sheds > 1_000, "the flood must shed (got {})", lo.sheds);
+        assert!(hi.completed > 1_000 && lo.completed > 0);
+        // Windowed per-tenant views partition the recorder's view.
+        assert_eq!(
+            hi.completed + lo.completed,
+            res.recorder.completed_in_window()
+        );
+        assert_eq!(
+            hi.sheds + lo.sheds + hi.drops + lo.drops,
+            res.recorder.dropped()
+        );
+        // Registry counters partition the global ones (whole run, not
+        // just the window).
+        let c = |name| res.metrics.counter(name).unwrap_or(0);
+        assert_eq!(
+            c(tn::COMPLETIONS[0]) + c(tn::COMPLETIONS[1]),
+            res.metrics.counter("completions").unwrap_or(0)
+        );
+        assert!(c(tn::ARRIVALS[0]) > 0 && c(tn::ARRIVALS[1]) > 0);
+        assert_eq!(c(tn::SHEDS[0]), 0);
+        assert!(c(tn::SHEDS[1]) > 0);
+        assert!(res.conservation.holds(), "{:?}", res.conservation);
+        assert!(res.conservation.sheds > 0);
+    }
+
+    #[test]
+    fn token_bucket_polices_a_tenant_to_its_configured_rate() {
+        // One tenant offering 600k but policed to 200k: admitted
+        // throughput must track the bucket, not the offered rate, and
+        // the excess must surface as sheds.
+        let plane = TenantPlane::new(vec![
+            TenantSpec::new(600_000.0, "array", TenantPriority::High).with_bucket(200_000.0, 64),
+            TenantSpec::new(100_000.0, "array", TenantPriority::High),
+        ]);
+        let mut w = small_workload();
+        let res = run_one(SystemConfig::adios(), &mut w, tenant_params(plane));
+        let t0 = &res.tenants[0];
+        let window_s = SimDuration::from_millis(10).as_secs_f64();
+        let admitted_rps = t0.admitted as f64 / window_s;
+        assert!(
+            (150_000.0..=210_000.0).contains(&admitted_rps),
+            "policed tenant admitted {admitted_rps:.0} rps, want ~200k"
+        );
+        assert!(t0.sheds > 1_000, "policing must shed the excess");
+        assert_eq!(res.tenants[1].sheds, 0, "unpoliced tenant is untouched");
+        assert!(res.conservation.holds());
+    }
+
+    #[test]
+    fn per_tenant_slo_verdicts_follow_the_latency_split() {
+        // Same workload, wildly different objectives: a 1 s objective
+        // must pass and a 1 ns objective must fail on the same run.
+        let generous = desim::parse_slo_spec("lat<1s:0.01@1ms").unwrap();
+        let impossible = desim::parse_slo_spec("lat<1ns:0.01@1ms").unwrap();
+        let plane = TenantPlane::new(vec![
+            TenantSpec::new(200_000.0, "array", TenantPriority::High).with_slo(generous),
+            TenantSpec::new(200_000.0, "array", TenantPriority::High).with_slo(impossible),
+        ]);
+        let mut w = small_workload();
+        let res = run_one(SystemConfig::adios(), &mut w, tenant_params(plane));
+        assert_eq!(res.tenants[0].slo_ok, Some(true));
+        assert_eq!(res.tenants[1].slo_ok, Some(false));
+    }
+
+    #[test]
+    fn conservation_tracked_on_legacy_single_stream_runs() {
+        let res = run(SystemKind::Adios, 400_000.0);
+        assert!(res.conservation.holds(), "{:?}", res.conservation);
+        assert!(res.conservation.arrivals > 0);
+        assert_eq!(res.conservation.sheds, 0, "no plane, no sheds");
+        assert!(res.tenants.is_empty(), "no plane, no tenant windows");
     }
 }

@@ -31,6 +31,19 @@ pub trait Workload {
         *buf = self.next_request(rng);
     }
 
+    /// Produces the next request's trace for a specific tenant of a
+    /// multi-tenant run. The default ignores the tenant and delegates
+    /// to [`next_request_into`] — single-app workloads serve every
+    /// tenant the same stream, which keeps `tenants = 1` runs
+    /// byte-identical to the pre-tenant path. [`TenantWorkload`]
+    /// overrides it to route each tenant to its own app.
+    ///
+    /// [`next_request_into`]: Workload::next_request_into
+    fn next_request_for(&mut self, tenant: usize, rng: &mut Rng, buf: &mut Trace) {
+        let _ = tenant;
+        self.next_request_into(rng, buf);
+    }
+
     /// Pages that should be resident at steady state, used to warm the
     /// cache; `None` (default) means a uniform random sample.
     fn warm_pages(&self) -> Option<Vec<u64>> {
@@ -282,6 +295,96 @@ impl<A: Workload, B: Workload> Workload for MixedWorkload<A, B> {
     }
 }
 
+/// N co-located tenant apps with disjoint page namespaces and
+/// concatenated class tables — the workload side of the tenant plane.
+///
+/// Where [`MixedWorkload`] draws the tenant *randomly* per request,
+/// `TenantWorkload` is told which tenant each arrival belongs to (the
+/// [`loadgen::tenant::TenantMix`] merged stream carries the id) and
+/// routes `next_request_for` to that tenant's app, shifting its pages
+/// past the preceding tenants' working sets and its classes past their
+/// class tables. Per-tenant latency and span class annotations fall out
+/// of the class shift for free.
+pub struct TenantWorkload {
+    apps: Vec<Box<dyn Workload>>,
+    /// Page-namespace base of each tenant (prefix sums of totals).
+    page_offsets: Vec<u64>,
+    /// Class-table base of each tenant.
+    class_offsets: Vec<u16>,
+    classes: &'static [&'static str],
+}
+
+impl TenantWorkload {
+    /// Co-locates one app per tenant, in tenant-id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps` is empty.
+    pub fn new(apps: Vec<Box<dyn Workload>>) -> TenantWorkload {
+        assert!(!apps.is_empty(), "a tenant workload needs at least one app");
+        let mut page_offsets = Vec::with_capacity(apps.len());
+        let mut class_offsets = Vec::with_capacity(apps.len());
+        let mut pages = 0u64;
+        let mut classes = 0u16;
+        let mut combined: Vec<&'static str> = Vec::new();
+        for app in &apps {
+            page_offsets.push(pages);
+            class_offsets.push(classes);
+            pages += app.total_pages();
+            classes += app.classes().len() as u16;
+            combined.extend(app.classes());
+        }
+        TenantWorkload {
+            // Same deal as MixedWorkload: the trait hands out 'static
+            // class tables, so the concatenation is leaked once per
+            // configuration.
+            classes: Box::leak(combined.into_boxed_slice()),
+            apps,
+            page_offsets,
+            class_offsets,
+        }
+    }
+
+    /// Class index of tenant `t`'s class `i` in the combined table.
+    pub fn tenant_class(&self, t: usize, i: u16) -> u16 {
+        self.class_offsets[t] + i
+    }
+}
+
+impl Workload for TenantWorkload {
+    fn classes(&self) -> &'static [&'static str] {
+        self.classes
+    }
+
+    fn total_pages(&self) -> u64 {
+        self.apps.iter().map(|a| a.total_pages()).sum()
+    }
+
+    fn next_request(&mut self, rng: &mut Rng) -> Trace {
+        // Un-tagged draws come from tenant 0 (the single-tenant path).
+        let mut buf = Trace::default();
+        self.next_request_for(0, rng, &mut buf);
+        buf
+    }
+
+    fn next_request_into(&mut self, rng: &mut Rng, buf: &mut Trace) {
+        self.next_request_for(0, rng, buf);
+    }
+
+    fn next_request_for(&mut self, tenant: usize, rng: &mut Rng, buf: &mut Trace) {
+        self.apps[tenant].next_request_into(rng, buf);
+        let offset = self.page_offsets[tenant];
+        if offset > 0 {
+            for step in &mut buf.steps {
+                if let Some(a) = &mut step.access {
+                    a.page += offset;
+                }
+            }
+        }
+        buf.class += self.class_offsets[tenant];
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -327,6 +430,48 @@ mod tests {
             }
         }
         assert!(from_a > 800 && from_b > 800, "{from_a}/{from_b}");
+    }
+
+    #[test]
+    fn tenant_workload_routes_by_tenant_id() {
+        let mut w = TenantWorkload::new(vec![
+            Box::new(ArrayIndexWorkload::new(1_000)),
+            Box::new(StridedWorkload::new(50_000, 3, 4)),
+            Box::new(ArrayIndexWorkload::new(2_000)),
+        ]);
+        assert_eq!(w.total_pages(), 53_000);
+        assert_eq!(w.classes(), &["lookup", "walk", "lookup"]);
+        assert_eq!(w.tenant_class(1, 0), 1);
+        assert_eq!(w.tenant_class(2, 0), 2);
+        let mut rng = Rng::new(21);
+        let mut buf = Trace::default();
+        for _ in 0..300 {
+            for (t, range) in [(0, 0..1_000u64), (1, 1_000..51_000), (2, 51_000..53_000)] {
+                w.next_request_for(t, &mut rng, &mut buf);
+                assert_eq!(buf.class as usize, t, "class shift tags the tenant");
+                for page in buf.steps.iter().filter_map(|s| s.access.map(|a| a.page)) {
+                    assert!(range.contains(&page), "tenant {t} page {page} escaped");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tenant_workload_untagged_draw_is_tenant_zero() {
+        // The single-tenant path (next_request_into with no tenant id)
+        // must be indistinguishable from tenant 0's own stream.
+        let mut a = TenantWorkload::new(vec![Box::new(ArrayIndexWorkload::new(4_000))]);
+        let mut b = ArrayIndexWorkload::new(4_000);
+        let mut rng_a = Rng::new(5);
+        let mut rng_b = Rng::new(5);
+        let mut buf_a = Trace::default();
+        let mut buf_b = Trace::default();
+        for _ in 0..500 {
+            a.next_request_into(&mut rng_a, &mut buf_a);
+            b.next_request_into(&mut rng_b, &mut buf_b);
+            assert_eq!(buf_a.steps, buf_b.steps);
+            assert_eq!(buf_a.class, buf_b.class);
+        }
     }
 
     #[test]

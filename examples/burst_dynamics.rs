@@ -34,6 +34,7 @@ fn main() {
                 faults: None,
                 telemetry: None,
                 profile: None,
+                tenants: None,
             },
         );
         let tl = r.timeline.as_ref().expect("timeline requested");

@@ -24,6 +24,7 @@ fn main() {
         faults: None,
         telemetry: None,
         profile: None,
+        tenants: None,
     };
     let mut w = ArrayIndexWorkload::new(16_384);
     let res = run_one(SystemConfig::adios(), &mut w, p);

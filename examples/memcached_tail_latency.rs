@@ -35,6 +35,7 @@ fn main() {
                     faults: None,
                     telemetry: None,
                     profile: None,
+                    tenants: None,
                 },
             );
             let h = result.recorder.overall();
@@ -82,6 +83,7 @@ fn main() {
                     faults: None,
                     telemetry: None,
                     profile: None,
+                    tenants: None,
                 },
             );
             total += result.recorder.overall().percentile(99.9) as f64;

@@ -39,6 +39,7 @@ fn main() {
                 faults: None,
                 telemetry: None,
                 profile: None,
+                tenants: None,
             },
         );
         let h = result.recorder.overall();

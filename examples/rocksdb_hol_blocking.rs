@@ -41,6 +41,7 @@ fn main() {
                 faults: None,
                 telemetry: None,
                 profile: None,
+                tenants: None,
             },
         );
         let g = result.recorder.class(CLASS_GET);

@@ -43,6 +43,7 @@ fn main() {
                     faults: None,
                     telemetry: None,
                     profile: None,
+                    tenants: None,
                 },
             );
             let h = result.recorder.overall();

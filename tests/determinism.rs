@@ -20,6 +20,7 @@ fn params(seed: u64) -> RunParams {
         faults: None,
         telemetry: None,
         profile: None,
+        tenants: None,
     }
 }
 
@@ -315,6 +316,74 @@ fn single_shard_reproduces_the_unsharded_byte_stream() {
         (89_823, 0x2d32_f248_98b5_aab4),
         "Perfetto JSON drifted from the pre-sharding byte stream"
     );
+}
+
+#[test]
+fn single_tenant_plane_reproduces_the_golden_byte_stream() {
+    // The tenant plane must be invisible when it is degenerate: a
+    // 1-tenant Poisson plane at the same rate and seed is the *same
+    // run* as the planeless golden capture above — same arrival stream
+    // (tenant 0 keeps the base seed bit for bit), no tenant counters in
+    // the registry, no tenants block in the JSON — so both exports must
+    // land on the pre-tenant FNV anchors byte for byte.
+    use adios::desim::span::perfetto_json;
+    let mut p = params(5);
+    p.trace_capacity = Some(200_000);
+    p.spans = Some(adios::desim::SpanConfig::with_exemplars(95.0, 32));
+    p.tenants = Some(TenantPlane::new(vec![TenantSpec::new(
+        900_000.0,
+        "array",
+        TenantPriority::High,
+    )]));
+    let mut w = ArrayIndexWorkload::new(16_384);
+    let res = run_one(SystemConfig::adios(), &mut w, p);
+    let run = adios::core_api::run_json(&res);
+    let spans = perfetto_json(&res.spans.as_ref().unwrap().exemplars);
+    assert_eq!(
+        (run.len(), fnv1a(run.as_bytes())),
+        (5_212_345, 0xbaaf_7950_0447_bf72),
+        "a degenerate tenant plane must not perturb the run JSON byte stream"
+    );
+    assert_eq!(
+        (spans.len(), fnv1a(spans.as_bytes())),
+        (89_823, 0x2d32_f248_98b5_aab4),
+        "a degenerate tenant plane must not perturb the Perfetto byte stream"
+    );
+}
+
+#[test]
+fn tenant_plane_runs_bitwise_reproducible() {
+    // The tenant plane inherits the simulation's determinism: equal
+    // seeds over the same mix must serialise to byte-identical run JSON
+    // (per-tenant block + conservation identity included).
+    let plane = || {
+        TenantPlane::new(vec![
+            TenantSpec::new(300_000.0, "array", TenantPriority::High),
+            TenantSpec::new(2_500_000.0, "array", TenantPriority::Low).with_bucket(200_000.0, 64),
+        ])
+        .with_shed_watermark(64)
+    };
+    let mut p = params(5);
+    p.offered_rps = 2_800_000.0;
+    p.tenants = Some(plane());
+    let mut w1 = ArrayIndexWorkload::new(16_384);
+    let mut w2 = ArrayIndexWorkload::new(16_384);
+    let a = run_one(SystemConfig::adios(), &mut w1, p.clone());
+    let b = run_one(SystemConfig::adios(), &mut w2, p.clone());
+    assert!(a.tenants[1].sheds > 0, "the mix must actually shed");
+    let ja = adios::core_api::run_json(&a);
+    assert!(
+        ja.contains("\"tenants\":[") && ja.contains("\"conservation\":{"),
+        "run JSON must embed the tenant and conservation blocks"
+    );
+    assert_eq!(ja, adios::core_api::run_json(&b));
+
+    // A different seed must not collide.
+    let mut w3 = ArrayIndexWorkload::new(16_384);
+    let mut p2 = p.clone();
+    p2.seed = 6;
+    let c = run_one(SystemConfig::adios(), &mut w3, p2);
+    assert_ne!(ja, adios::core_api::run_json(&c));
 }
 
 #[test]

@@ -814,3 +814,116 @@ fn queue_littles_law_holds_on_none_and_lossy() {
         }
     }
 }
+
+/// Randomized tenant mixes: per-tenant accounting must partition the
+/// run-level view exactly, and request conservation must hold whatever
+/// the mix shape, buckets or watermark.
+#[test]
+fn tenant_accounting_partitions_the_run() {
+    let mut gen = Rng::new(0x7E4A);
+    for case in 0..8 {
+        let n = 2 + (case % 3); // 2..=4 tenants
+        let mut specs = Vec::new();
+        for t in 0..n {
+            let rate = 100_000.0 + gen.gen_f64() * 1_400_000.0;
+            let prio = if t == 0 {
+                TenantPriority::High
+            } else {
+                TenantPriority::Low
+            };
+            let mut s = TenantSpec::new(rate, "array", prio);
+            if gen.gen_range(2) == 0 {
+                s = s.with_bucket(rate * (0.3 + gen.gen_f64() * 0.5), 64);
+            }
+            specs.push(s);
+        }
+        let mut plane = TenantPlane::new(specs);
+        if gen.gen_range(2) == 0 {
+            plane = plane.with_shed_watermark(32 + gen.gen_range(96) as usize);
+        }
+        let total = plane.total_rate_rps();
+        let seed = 1 + gen.gen_range(1_000);
+        let mut wl = ArrayIndexWorkload::new(8_192);
+        let r = run_one(
+            SystemConfig::adios(),
+            &mut wl,
+            RunParams {
+                offered_rps: total,
+                seed,
+                warmup: SimDuration::from_millis(2),
+                measure: SimDuration::from_millis(6),
+                local_mem_fraction: 0.2,
+                tenants: Some(plane),
+                ..Default::default()
+            },
+        );
+        let ctx = format!("case {case}: {n} tenants, {total:.0} rps, seed {seed}");
+
+        // The conservation identity holds on every mix.
+        assert!(r.conservation.holds(), "{ctx}: {:?}", r.conservation);
+
+        // Per-tenant windows partition the recorder's view: windowed
+        // completions and exclusions (sheds + overflow drops) both sum
+        // to the run-level numbers, and each tenant's histogram holds
+        // exactly its own completions.
+        assert_eq!(r.tenants.len(), n, "{ctx}");
+        let completed: u64 = r.tenants.iter().map(|t| t.completed).sum();
+        let excluded: u64 = r.tenants.iter().map(|t| t.sheds + t.drops).sum();
+        assert_eq!(completed, r.recorder.completed_in_window(), "{ctx}");
+        assert_eq!(excluded, r.recorder.dropped(), "{ctx}");
+        for t in &r.tenants {
+            assert_eq!(
+                t.latency_ns.count(),
+                t.completed,
+                "{ctx}: tenant {}",
+                t.tenant
+            );
+            assert!(t.admitted <= t.arrivals, "{ctx}: tenant {}", t.tenant);
+            assert!(
+                t.sheds + t.drops <= t.arrivals,
+                "{ctx}: tenant {}",
+                t.tenant
+            );
+        }
+        let arrivals: u64 = r.tenants.iter().map(|t| t.arrivals).sum();
+        assert!(arrivals > 0, "{ctx}: the window must see traffic");
+    }
+}
+
+/// A tenant's arrival stream belongs to that tenant alone: reseeding
+/// one tenant must not move any other tenant's windowed arrivals.
+#[test]
+fn tenant_arrival_streams_are_independent_at_run_level() {
+    let plane = |bump: u64| {
+        TenantPlane::new(vec![
+            TenantSpec::new(400_000.0, "array", TenantPriority::High),
+            TenantSpec::new(600_000.0, "array", TenantPriority::Low).with_seed_bump(bump),
+        ])
+    };
+    let run = |bump: u64| {
+        let mut wl = ArrayIndexWorkload::new(8_192);
+        run_one(
+            SystemConfig::adios(),
+            &mut wl,
+            RunParams {
+                offered_rps: 1_000_000.0,
+                seed: 17,
+                warmup: SimDuration::from_millis(2),
+                measure: SimDuration::from_millis(6),
+                local_mem_fraction: 0.2,
+                tenants: Some(plane(bump)),
+                ..Default::default()
+            },
+        )
+    };
+    let a = run(0);
+    let b = run(0xDEAD_BEEF);
+    assert_eq!(
+        a.tenants[0].arrivals, b.tenants[0].arrivals,
+        "tenant 0's arrival stream must not move when tenant 1 reseeds"
+    );
+    assert_ne!(
+        a.tenants[1].arrivals, b.tenants[1].arrivals,
+        "tenant 1's stream must actually change under the bump"
+    );
+}
