@@ -85,6 +85,15 @@ flags:
                      arrivals are shed (requires --tenants)
   --app <name>       workload for single-stream smoke runs:
                      array (default), kvs, or llm
+  --dispatchers N    model a proportionally scaled machine with N
+                     dispatcher cores, 8·N workers and min(N, 8)
+                     memnode shards; smoke runs go to deep overload and
+                     print per-dispatcher admit/steal/combine counters,
+                     writing dispatch_<system>_<N>d_<policy>.json
+  --dispatch-policy <name>
+                     ingress policy for --dispatchers: single-fcfs,
+                     work-stealing (default above 1 dispatcher) or
+                     flat-combining
   --seed N           RNG seed for the smoke runs (unsigned integer,
                      default 1)
   --out-dir <dir>    output directory (default: results)";
@@ -112,6 +121,8 @@ struct Cli {
     tenants_spec: Option<String>,
     shed_watermark: Option<usize>,
     app: Option<String>,
+    dispatchers: Option<usize>,
+    dispatch_policy: Option<DispatchPolicy>,
 }
 
 impl Cli {
@@ -125,6 +136,24 @@ impl Cli {
             || self.profile
             || self.tenants.is_some()
             || self.app.is_some()
+            || self.dispatchers.is_some()
+    }
+
+    /// `--dispatchers N` models a proportionally scaled machine — N
+    /// dispatcher cores, 8·N workers, min(N, 8) memnode shards — so
+    /// the knob measures dispatch-plane scaling instead of running a
+    /// wider ingress into the seed machine's 8-worker ceiling. The
+    /// policy defaults to work-stealing above one dispatcher.
+    fn apply_dispatchers(&self, cfg: &mut SystemConfig) {
+        let Some(n) = self.dispatchers else { return };
+        cfg.dispatchers = n;
+        cfg.workers = 8 * n;
+        cfg.memnode_shards = cfg.memnode_shards.max(n.min(8));
+        cfg.dispatch_policy = self.dispatch_policy.unwrap_or(if n > 1 {
+            DispatchPolicy::WorkStealing
+        } else {
+            DispatchPolicy::SingleFcfs
+        });
     }
 }
 
@@ -165,6 +194,8 @@ fn parse_args(args: &[String]) -> Cli {
         tenants_spec: None,
         shed_watermark: None,
         app: None,
+        dispatchers: None,
+        dispatch_policy: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -292,6 +323,35 @@ fn parse_args(args: &[String]) -> Cli {
                 }
                 cli.shed_watermark = Some(n);
             }
+            "--dispatchers" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("--dispatchers requires a value"));
+                let n: usize = v
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("invalid --dispatchers value: {v}")));
+                if n == 0 || n > desim::trace::dispatcher_names::MAX_DISPATCHERS {
+                    die(&format!(
+                        "--dispatchers must be between 1 and {}",
+                        desim::trace::dispatcher_names::MAX_DISPATCHERS
+                    ));
+                }
+                cli.dispatchers = Some(n);
+            }
+            "--dispatch-policy" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("--dispatch-policy requires a name"));
+                cli.dispatch_policy = Some(match v.as_str() {
+                    "single-fcfs" => DispatchPolicy::SingleFcfs,
+                    "work-stealing" => DispatchPolicy::WorkStealing,
+                    "flat-combining" => DispatchPolicy::FlatCombining,
+                    other => die(&format!(
+                        "unknown dispatch policy: {other} \
+                         (known: single-fcfs, work-stealing, flat-combining)"
+                    )),
+                });
+            }
             "--app" => {
                 let v = it.next().unwrap_or_else(|| die("--app requires a name"));
                 if !matches!(v.as_str(), "array" | "kvs" | "llm") {
@@ -360,9 +420,14 @@ fn smoke_mode(cli: &Cli) {
             }
             p
         });
-        let offered = plane
-            .as_ref()
-            .map_or(800_000.0, TenantPlane::total_rate_rps);
+        // A tenant plane offers its own rate; a dispatcher sweep goes to
+        // deep overload (scaled with the machine) so achieved RPS reads
+        // dispatch capacity and the steal/combine counters light up.
+        let offered = match (&plane, cli.dispatchers) {
+            (Some(p), _) => p.total_rate_rps(),
+            (None, Some(n)) => 5_000_000.0 * n as f64,
+            (None, None) => 800_000.0,
+        };
         let mut params = RunParams {
             offered_rps: offered,
             tenants: plane,
@@ -397,9 +462,81 @@ fn smoke_mode(cli: &Cli) {
         if let Some(n) = cli.shards {
             cfg.memnode_shards = n;
         }
+        cli.apply_dispatchers(&mut cfg);
+        let dpolicy = cfg.dispatch_policy;
         let res = run_one(cfg, &mut *workload, params);
         let system = format!("{kind:?}").to_lowercase();
         peak_rps = peak_rps.max(res.recorder.achieved_rps());
+
+        if let Some(n) = cli.dispatchers {
+            use desim::trace::dispatcher_names as dn;
+            let c = |name: &str| res.metrics.counter(name).unwrap_or(0);
+            println!(
+                "==== {kind:?}: dispatcher plane ({n} cores, {}, {offered:.0} rps offered) ====",
+                dpolicy.name()
+            );
+            for d in 0..n.min(dn::MAX_DISPATCHERS) {
+                if n > 1 {
+                    println!(
+                        "    dispatcher {d}: {} admitted, {} steals, {} combines",
+                        c(dn::ADMITTED[d]),
+                        c(dn::STEALS[d]),
+                        c(dn::COMBINES[d])
+                    );
+                }
+            }
+            let cons = &res.conservation;
+            println!(
+                "    achieved {:.0} rps; conservation: {} arrivals = {} completed \
+                 + {} dropped + {} shed + {} aborted + {} in flight ({})",
+                res.recorder.achieved_rps(),
+                cons.arrivals,
+                cons.completions,
+                cons.drops,
+                cons.sheds,
+                cons.aborts,
+                cons.inflight_at_end,
+                if cons.holds() { "holds" } else { "VIOLATED" }
+            );
+            // Machine-readable capture for the dispatch-scaling CI
+            // smoke: per-dispatcher counters plus the conservation
+            // identity (counters exist only above one dispatcher —
+            // single-dispatcher runs keep the pre-scaling registry).
+            let mut per = String::new();
+            for d in 0..n {
+                if n > 1 {
+                    let _ = write!(
+                        per,
+                        "{}{{\"dispatcher\":{d},\"admitted\":{},\"steals\":{},\"combines\":{}}}",
+                        if d > 0 { "," } else { "" },
+                        c(dn::ADMITTED[d]),
+                        c(dn::STEALS[d]),
+                        c(dn::COMBINES[d])
+                    );
+                }
+            }
+            let json = format!(
+                "{{\"system\":\"{system}\",\"dispatchers\":{n},\"policy\":\"{}\",\
+                 \"offered_rps\":{offered:.1},\"achieved_rps\":{:.1},\
+                 \"arrivals\":{},\"completions\":{},\"drops\":{},\"sheds\":{},\
+                 \"aborts\":{},\"inflight_at_end\":{},\"conservation_holds\":{},\
+                 \"per_dispatcher\":[{per}]}}\n",
+                dpolicy.name(),
+                res.recorder.achieved_rps(),
+                cons.arrivals,
+                cons.completions,
+                cons.drops,
+                cons.sheds,
+                cons.aborts,
+                cons.inflight_at_end,
+                cons.holds()
+            );
+            let path = cli
+                .out_dir
+                .join(format!("dispatch_{system}_{n}d_{}.json", dpolicy.name()));
+            std::fs::write(&path, json).expect("write dispatch JSON");
+            println!("wrote {}\n", path.display());
+        }
 
         if res.tenants.len() > 1 {
             println!(
@@ -714,8 +851,11 @@ fn median(xs: &[f64]) -> f64 {
 /// from noise.
 fn bench_mode(cli: &Cli) {
     // ~2× the modelled saturation point: deep overload, so achieved
-    // RPS reads capacity, not offered load.
-    let offered = 5_000_000.0;
+    // RPS reads capacity, not offered load. The overload scales with
+    // `--dispatchers` so the bigger machine is still saturated.
+    let offered = 5_000_000.0 * cli.dispatchers.unwrap_or(1) as f64;
+    let mut cfg = SystemConfig::adios();
+    cli.apply_dispatchers(&mut cfg);
     let horizon = SimDuration::from_millis(cli.bench_horizon_ms);
     let seed0 = cli.seed.unwrap_or(1);
     let mut walls: Vec<f64> = Vec::new();
@@ -735,7 +875,7 @@ fn bench_mode(cli: &Cli) {
             ..Default::default()
         };
         let t0 = Instant::now();
-        let res = run_one(SystemConfig::adios(), &mut workload, params);
+        let res = run_one(cfg.clone(), &mut workload, params);
         let wall = t0.elapsed().as_secs_f64();
         let rps = res.recorder.achieved_rps();
         println!("  repeat {i}: {wall:.3} s wall, {rps:.0} achieved simulated rps");
@@ -767,6 +907,16 @@ fn bench_mode(cli: &Cli) {
     }
     if let Some(app) = &cli.app {
         write!(tenant_flags, " --app {app}").unwrap();
+    }
+    if let Some(n) = cli.dispatchers {
+        // Record the *resolved* policy so a rerun is exact even when
+        // the flag relied on the work-stealing default.
+        write!(
+            tenant_flags,
+            " --dispatchers {n} --dispatch-policy {}",
+            cfg.dispatch_policy.name()
+        )
+        .unwrap();
     }
     let tenant_flags = tenant_flags.replace('"', "\\\"");
     let bench = format!(

@@ -2,7 +2,7 @@
 //! PF-aware dispatching ablation (10e).
 
 use apps::MemcachedWorkload;
-use runtime::{DispatchPolicy, SystemConfig, SystemKind};
+use runtime::{SystemConfig, SystemKind, WorkerSelect};
 
 use super::{fmt_x, peak_rps, points_series, sweep, takeoff_index};
 use crate::report::{Expectation, FigureReport, Series};
@@ -90,7 +90,7 @@ pub fn run(scale: Scale) -> FigureReport {
         52,
     );
     let rr_cfg = SystemConfig {
-        dispatch_policy: DispatchPolicy::RoundRobin,
+        worker_select: WorkerSelect::RoundRobin,
         ..SystemConfig::adios()
     };
     let rr = sweep(

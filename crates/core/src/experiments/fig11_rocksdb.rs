@@ -7,7 +7,7 @@
 
 use apps::ordb::{CLASS_GET, CLASS_SCAN};
 use apps::RocksDbWorkload;
-use runtime::{DispatchPolicy, SystemConfig, SystemKind};
+use runtime::{SystemConfig, SystemKind, WorkerSelect};
 
 use super::{class_series, fmt_x, knee_index, peak_rps, sweep, takeoff_index};
 use crate::report::{Expectation, FigureReport, Series};
@@ -119,7 +119,7 @@ pub fn run(scale: Scale) -> FigureReport {
         62,
     );
     let rr_cfg = SystemConfig {
-        dispatch_policy: DispatchPolicy::RoundRobin,
+        worker_select: WorkerSelect::RoundRobin,
         ..SystemConfig::adios()
     };
     let rr = sweep(

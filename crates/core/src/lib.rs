@@ -36,7 +36,7 @@ pub use report::{run_json, Expectation, FigureReport, Series};
 pub use runtime::sim::{run_one, Conservation, RunParams, RunResult, TenantWindow};
 pub use runtime::{
     DispatchPolicy, FaultPolicy, PrefetcherKind, QueueModel, Simulation, SystemConfig, SystemKind,
-    Workload,
+    WorkerSelect, Workload,
 };
 pub use scale::Scale;
 
@@ -53,6 +53,6 @@ pub mod prelude {
     pub use runtime::sim::{run_one, Conservation, RunParams, RunResult, TenantWindow};
     pub use runtime::{
         ArrayIndexWorkload, DispatchPolicy, FaultPolicy, PrefetcherKind, QueueModel, Simulation,
-        StridedWorkload, SystemConfig, SystemKind, TenantWorkload, Workload,
+        StridedWorkload, SystemConfig, SystemKind, TenantWorkload, WorkerSelect, Workload,
     };
 }

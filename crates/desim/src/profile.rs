@@ -130,8 +130,33 @@ pub mod queue_names {
     /// Shard rails with dedicated send-queue / write-back gauges.
     pub const MAX_SHARDS: usize = 8;
 
+    /// Dispatcher cores with a dedicated per-ingress depth gauge
+    /// (matches `trace::dispatcher_names::MAX_DISPATCHERS`).
+    pub const MAX_DISPATCHERS: usize = 16;
+
     /// Central dispatcher ingress queue depth.
     pub const INGRESS: &str = "q.ingress.depth";
+    /// Per-dispatcher ingress slot depth (arrivals published to the
+    /// dispatcher that it has not yet admitted). Registered only when
+    /// the ingress plane has more than one dispatcher core.
+    pub const D_INGRESS: [&str; MAX_DISPATCHERS] = [
+        "q.d0.ingress.depth",
+        "q.d1.ingress.depth",
+        "q.d2.ingress.depth",
+        "q.d3.ingress.depth",
+        "q.d4.ingress.depth",
+        "q.d5.ingress.depth",
+        "q.d6.ingress.depth",
+        "q.d7.ingress.depth",
+        "q.d8.ingress.depth",
+        "q.d9.ingress.depth",
+        "q.d10.ingress.depth",
+        "q.d11.ingress.depth",
+        "q.d12.ingress.depth",
+        "q.d13.ingress.depth",
+        "q.d14.ingress.depth",
+        "q.d15.ingress.depth",
+    ];
     /// Per-worker runnable (resumed unithread) queue depth.
     pub const RUNNABLE: [&str; MAX_WORKERS] = [
         "q.w0.runnable.depth",

@@ -541,6 +541,109 @@ pub mod tenant_names {
     ];
 }
 
+/// Static per-dispatcher metric names.
+///
+/// Same discipline as [`shard_names`]: [`Metrics::counter`] and
+/// [`Metrics::gauge`] take `&'static str`, so per-dispatcher names live
+/// in a static table covering up to
+/// [`dispatcher_names::MAX_DISPATCHERS`] ingress cores. The schema is
+/// the multi-dispatcher simulation's contract with external consumers
+/// (the `dispatch-scaling-smoke` CI job parses these names out of the
+/// run JSON): per dispatcher `N`, the counters `dispatcherN.admitted`,
+/// `dispatcherN.steals` and `dispatcherN.combines`, plus the
+/// `dispatcherN.busy_fraction` gauge. Single-dispatcher runs register
+/// none of them (the lone core keeps the scalar
+/// `dispatcher.busy_fraction` gauge), keeping their metrics JSON
+/// bit-identical to pre-scaling output.
+pub mod dispatcher_names {
+    /// Highest dispatcher count the static name tables cover.
+    pub const MAX_DISPATCHERS: usize = 16;
+
+    /// Requests admitted by the dispatcher (steals included).
+    pub const ADMITTED: [&str; MAX_DISPATCHERS] = [
+        "dispatcher0.admitted",
+        "dispatcher1.admitted",
+        "dispatcher2.admitted",
+        "dispatcher3.admitted",
+        "dispatcher4.admitted",
+        "dispatcher5.admitted",
+        "dispatcher6.admitted",
+        "dispatcher7.admitted",
+        "dispatcher8.admitted",
+        "dispatcher9.admitted",
+        "dispatcher10.admitted",
+        "dispatcher11.admitted",
+        "dispatcher12.admitted",
+        "dispatcher13.admitted",
+        "dispatcher14.admitted",
+        "dispatcher15.admitted",
+    ];
+
+    /// Arrivals this dispatcher admitted away from a busier sibling's
+    /// ingress slot (`DispatchPolicy::WorkStealing`).
+    pub const STEALS: [&str; MAX_DISPATCHERS] = [
+        "dispatcher0.steals",
+        "dispatcher1.steals",
+        "dispatcher2.steals",
+        "dispatcher3.steals",
+        "dispatcher4.steals",
+        "dispatcher5.steals",
+        "dispatcher6.steals",
+        "dispatcher7.steals",
+        "dispatcher8.steals",
+        "dispatcher9.steals",
+        "dispatcher10.steals",
+        "dispatcher11.steals",
+        "dispatcher12.steals",
+        "dispatcher13.steals",
+        "dispatcher14.steals",
+        "dispatcher15.steals",
+    ];
+
+    /// Arrivals absorbed into a batch this dispatcher opened as the
+    /// combiner (`DispatchPolicy::FlatCombining`; the opener itself is
+    /// not counted).
+    pub const COMBINES: [&str; MAX_DISPATCHERS] = [
+        "dispatcher0.combines",
+        "dispatcher1.combines",
+        "dispatcher2.combines",
+        "dispatcher3.combines",
+        "dispatcher4.combines",
+        "dispatcher5.combines",
+        "dispatcher6.combines",
+        "dispatcher7.combines",
+        "dispatcher8.combines",
+        "dispatcher9.combines",
+        "dispatcher10.combines",
+        "dispatcher11.combines",
+        "dispatcher12.combines",
+        "dispatcher13.combines",
+        "dispatcher14.combines",
+        "dispatcher15.combines",
+    ];
+
+    /// Busy/idle square wave of the dispatcher core (mirrors the scalar
+    /// `dispatcher.busy_fraction` gauge of single-dispatcher runs).
+    pub const BUSY_FRACTION: [&str; MAX_DISPATCHERS] = [
+        "dispatcher0.busy_fraction",
+        "dispatcher1.busy_fraction",
+        "dispatcher2.busy_fraction",
+        "dispatcher3.busy_fraction",
+        "dispatcher4.busy_fraction",
+        "dispatcher5.busy_fraction",
+        "dispatcher6.busy_fraction",
+        "dispatcher7.busy_fraction",
+        "dispatcher8.busy_fraction",
+        "dispatcher9.busy_fraction",
+        "dispatcher10.busy_fraction",
+        "dispatcher11.busy_fraction",
+        "dispatcher12.busy_fraction",
+        "dispatcher13.busy_fraction",
+        "dispatcher14.busy_fraction",
+        "dispatcher15.busy_fraction",
+    ];
+}
+
 /// Renders a slice of trace events as a deterministic JSON array.
 pub fn trace_to_json(events: &[TraceEvent]) -> String {
     let mut out = String::from("[");

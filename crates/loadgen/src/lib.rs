@@ -21,7 +21,7 @@ pub mod record;
 pub mod sweep;
 pub mod tenant;
 
-pub use arrivals::{BurstyLoop, OpenLoop};
+pub use arrivals::{BurstyLoop, IngressFanIn, OpenLoop};
 pub use record::{Breakdown, Recorder};
 pub use sweep::LoadPoint;
 pub use tenant::{TenantMix, TenantPlane, TenantPriority, TenantSpec};

@@ -66,12 +66,49 @@ pub enum FaultPolicy {
 
 /// How the dispatcher picks a worker when several are idle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DispatchPolicy {
+pub enum WorkerSelect {
     /// Rotate over idle workers (Shinjuku/Concord baseline).
     RoundRobin,
     /// Algorithm 1: sort idle workers by outstanding page-fetch count
     /// and prefer the least congested QP.
     PfAware,
+}
+
+/// How arrivals are admitted when the ingress plane has more than one
+/// dispatcher core (`SystemConfig::dispatchers`).
+///
+/// With `dispatchers = 1` every policy degenerates to the paper's
+/// single-queue FCFS dispatcher except [`DispatchPolicy::FlatCombining`],
+/// whose batch amortisation applies even to a lone combiner.
+/// `dispatchers = 1` with [`DispatchPolicy::SingleFcfs`] reproduces the
+/// pre-scaling byte stream bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchPolicy {
+    /// The paper's design: one shared FCFS ingress queue whose head is a
+    /// serialization point. Extra dispatcher cores idle — this is the
+    /// baseline the scaling sweep measures the knee of.
+    SingleFcfs,
+    /// Per-dispatcher ingress queues with RSS-style hash steering; a
+    /// dispatcher whose timeline is idle steals an arrival from a busier
+    /// sibling, paying `steal_cost` on its own timeline.
+    WorkStealing,
+    /// Flat combining / delegation: arrivals publish to per-dispatcher
+    /// slots and the current combiner drains them in batches under an
+    /// exclusive combiner role. The batch opener pays the full
+    /// `dispatch_cost`; joiners within `combining_window` (up to
+    /// `combining_batch` per batch) pay a quarter of it.
+    FlatCombining,
+}
+
+impl DispatchPolicy {
+    /// CLI/report label (`--dispatch-policy` accepts these).
+    pub fn name(self) -> &'static str {
+        match self {
+            DispatchPolicy::SingleFcfs => "single-fcfs",
+            DispatchPolicy::WorkStealing => "work-stealing",
+            DispatchPolicy::FlatCombining => "flat-combining",
+        }
+    }
 }
 
 /// Queueing architecture in front of the workers.
@@ -139,10 +176,22 @@ pub struct SystemConfig {
     pub workers: usize,
     /// Page-fault handling policy.
     pub fault_policy: FaultPolicy,
-    /// Dispatch policy among idle workers.
-    pub dispatch_policy: DispatchPolicy,
+    /// Worker-selection policy among idle workers.
+    pub worker_select: WorkerSelect,
     /// Queueing architecture.
     pub queue_model: QueueModel,
+    /// Dispatcher (ingress) cores. The paper's machine has exactly one;
+    /// more model a scaled ingress plane whose admission policy is
+    /// [`SystemConfig::dispatch_policy`]. One dispatcher with
+    /// `SingleFcfs` reproduces the pre-scaling byte stream bit-for-bit.
+    pub dispatchers: usize,
+    /// Admission policy across dispatcher cores.
+    pub dispatch_policy: DispatchPolicy,
+    /// Flat-combining batch window: arrivals landing within this window
+    /// of the batch opener may join its batch at amortised cost.
+    pub combining_window: SimDuration,
+    /// Maximum requests per flat-combining batch (opener included).
+    pub combining_batch: usize,
     /// Whether reply-TX completions are delegated to the dispatcher's
     /// CQ (§3.4). Without it the worker busy-waits the TX completion.
     pub polling_delegation: bool,
@@ -239,8 +288,12 @@ impl SystemConfig {
             kind,
             workers: 8,
             fault_policy: FaultPolicy::BusyWait,
-            dispatch_policy: DispatchPolicy::RoundRobin,
+            worker_select: WorkerSelect::RoundRobin,
             queue_model: QueueModel::SingleQueue,
+            dispatchers: 1,
+            dispatch_policy: DispatchPolicy::SingleFcfs,
+            combining_window: SimDuration::from_micros(1),
+            combining_batch: 8,
             polling_delegation: false,
             reclaimer_mode: ReclaimerMode::WakeUp,
             watermarks: Watermarks::default(),
@@ -297,7 +350,7 @@ impl SystemConfig {
     pub fn adios() -> SystemConfig {
         SystemConfig {
             fault_policy: FaultPolicy::Yield,
-            dispatch_policy: DispatchPolicy::PfAware,
+            worker_select: WorkerSelect::PfAware,
             polling_delegation: true,
             reclaimer_mode: ReclaimerMode::Proactive,
             ..SystemConfig::base(SystemKind::Adios)
@@ -387,6 +440,23 @@ impl SystemConfig {
         );
         self.memnode_shards
     }
+
+    /// Validated dispatcher-core count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dispatchers` is zero (nobody to admit arrivals) or
+    /// exceeds [`desim::trace::dispatcher_names::MAX_DISPATCHERS`] (the
+    /// per-dispatcher counter schema is a static name table).
+    pub fn ndispatchers(&self) -> usize {
+        assert!(self.dispatchers >= 1, "dispatchers must be at least 1");
+        assert!(
+            self.dispatchers <= desim::trace::dispatcher_names::MAX_DISPATCHERS,
+            "dispatchers must not exceed {}",
+            desim::trace::dispatcher_names::MAX_DISPATCHERS
+        );
+        self.dispatchers
+    }
 }
 
 #[cfg(test)]
@@ -398,13 +468,15 @@ mod tests {
         let a = SystemConfig::adios();
         assert_eq!(a.workers, 8);
         assert_eq!(a.fault_policy, FaultPolicy::Yield);
-        assert_eq!(a.dispatch_policy, DispatchPolicy::PfAware);
+        assert_eq!(a.worker_select, WorkerSelect::PfAware);
         assert!(a.polling_delegation);
         assert_eq!(a.reclaimer_mode, ReclaimerMode::Proactive);
+        assert_eq!(a.dispatchers, 1, "the paper's machine has one dispatcher");
+        assert_eq!(a.dispatch_policy, DispatchPolicy::SingleFcfs);
 
         let d = SystemConfig::dilos();
         assert_eq!(d.fault_policy, FaultPolicy::BusyWait);
-        assert_eq!(d.dispatch_policy, DispatchPolicy::RoundRobin);
+        assert_eq!(d.worker_select, WorkerSelect::RoundRobin);
         assert!(!d.polling_delegation);
 
         let p = SystemConfig::dilos_p();
@@ -464,6 +536,40 @@ mod tests {
             ..SystemConfig::adios()
         };
         let _ = cfg.shards();
+    }
+
+    #[test]
+    fn dispatcher_accessor_validates() {
+        let cfg = SystemConfig::adios();
+        assert_eq!(cfg.ndispatchers(), 1, "presets default to one dispatcher");
+
+        let scaled = SystemConfig {
+            dispatchers: 4,
+            dispatch_policy: DispatchPolicy::WorkStealing,
+            ..SystemConfig::adios()
+        };
+        assert_eq!(scaled.ndispatchers(), 4);
+        assert_eq!(scaled.dispatch_policy.name(), "work-stealing");
+    }
+
+    #[test]
+    #[should_panic(expected = "dispatchers must be at least 1")]
+    fn zero_dispatchers_rejected() {
+        let cfg = SystemConfig {
+            dispatchers: 0,
+            ..SystemConfig::adios()
+        };
+        let _ = cfg.ndispatchers();
+    }
+
+    #[test]
+    #[should_panic(expected = "dispatchers must not exceed")]
+    fn oversized_dispatcher_count_rejected() {
+        let cfg = SystemConfig {
+            dispatchers: desim::trace::dispatcher_names::MAX_DISPATCHERS + 1,
+            ..SystemConfig::adios()
+        };
+        let _ = cfg.ndispatchers();
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod sim;
 pub mod workload;
 
 pub use config::{
-    DispatchPolicy, FaultPolicy, PrefetcherKind, QueueModel, SystemConfig, SystemKind,
+    DispatchPolicy, FaultPolicy, PrefetcherKind, QueueModel, SystemConfig, SystemKind, WorkerSelect,
 };
 pub use sim::{RunResult, Simulation};
 pub use workload::{ArrayIndexWorkload, MixedWorkload, StridedWorkload, TenantWorkload, Workload};

@@ -35,15 +35,17 @@ use fabric::nic::Verb;
 use fabric::{EthPort, FabricParams, MemNode, QpId, RdmaNic, ShardMap};
 use faults::{FaultPlane, FaultScenario, FaultStats};
 use loadgen::{
-    Breakdown, BurstyLoop, LoadPoint, OpenLoop, Recorder, TenantMix, TenantPlane, TenantPriority,
-    TenantSpec,
+    Breakdown, BurstyLoop, IngressFanIn, LoadPoint, OpenLoop, Recorder, TenantMix, TenantPlane,
+    TenantPriority, TenantSpec,
 };
 use paging::prefetch::{LeapDetector, SeqDetector};
 use paging::reclaim::ReclaimerMode;
 use paging::trace::Trace;
 use paging::{PageCache, PageState, PAGE_SIZE};
 
-use crate::config::{DispatchPolicy, FaultPolicy, PrefetcherKind, QueueModel, SystemConfig};
+use crate::config::{
+    DispatchPolicy, FaultPolicy, PrefetcherKind, QueueModel, SystemConfig, WorkerSelect,
+};
 use crate::workload::Workload;
 
 /// Parameters of one simulation run.
@@ -277,6 +279,62 @@ impl ShardMetricIds {
     }
 }
 
+/// Per-dispatcher counter/gauge handles (see
+/// [`desim::trace::dispatcher_names`]). Registered only when the
+/// ingress plane has more than one dispatcher core: a single dispatcher
+/// must serialise the exact pre-scaling metrics schema.
+struct DispatcherMetricIds {
+    admitted: CounterId,
+    steals: CounterId,
+    combines: CounterId,
+    /// Per-core busy square wave; joins the registry only when an
+    /// observer (telemetry or the profiler) wants it, mirroring the
+    /// scalar `dispatcher.busy_fraction` gate of single-dispatcher runs.
+    busy: Option<GaugeId>,
+}
+
+impl DispatcherMetricIds {
+    fn register(m: &mut Metrics, d: usize, observed: bool) -> DispatcherMetricIds {
+        use desim::trace::dispatcher_names as dn;
+        DispatcherMetricIds {
+            admitted: m.counter(dn::ADMITTED[d]),
+            steals: m.counter(dn::STEALS[d]),
+            combines: m.counter(dn::COMBINES[d]),
+            busy: observed.then(|| m.gauge(dn::BUSY_FRACTION[d])),
+        }
+    }
+}
+
+/// One dispatcher-timeline charge, recorded only under `cfg(test)` so
+/// the differential oracle (see the `oracle` test module) can replay
+/// the admission arithmetic lock-step against a scalar reference.
+#[cfg(test)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct DispatchCharge {
+    pub(crate) op: DispatchOp,
+    /// Event-clock instant the charge was requested at.
+    pub(crate) now: SimTime,
+    /// Charged interval on the serving dispatcher's timeline.
+    pub(crate) start: SimTime,
+    pub(crate) end: SimTime,
+    /// Serving dispatcher core.
+    pub(crate) disp: usize,
+}
+
+/// Kind of dispatcher-timeline charge (test-only; see [`DispatchCharge`]).
+#[cfg(test)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum DispatchOp {
+    /// Admission of one arrival (`dispatch_cost` + `client_stack`).
+    Admit,
+    /// Push-path handoff of a queued request to an idle worker.
+    PushHandoff,
+    /// Pull-path handoff to a worker that ran dry.
+    PullHandoff,
+    /// Recycle of one delegated TX completion.
+    Recycle,
+}
+
 /// One memnode shard's measurement-window accounting.
 #[derive(Debug, Clone)]
 pub struct ShardWindow {
@@ -504,6 +562,10 @@ pub struct RunResult {
     /// the flamegraph/Perfetto exporters (present when
     /// [`RunParams::profile`] was set).
     pub profile: Option<ProfileReport>,
+    /// Every dispatcher-core charge in commit order, for the
+    /// differential oracle (test builds only).
+    #[cfg(test)]
+    pub(crate) dispatcher_log: Vec<DispatchCharge>,
 }
 
 impl RunResult {
@@ -658,6 +720,12 @@ struct Req {
     step: usize,
     /// Tenant the request belongs to (0 on single-source runs).
     tenant: u16,
+    /// Dispatcher core that admitted the request and owns its handoff /
+    /// recycle work (0 on single-dispatcher runs).
+    disp: u16,
+    /// Ingress slot the arrival was steered to (equals `disp` unless a
+    /// sibling stole the admission; 0 on single-dispatcher runs).
+    ingress_slot: u16,
     /// Load-generator hardware TX timestamp.
     tx_time: SimTime,
     /// When the request last started running on a worker (preemption
@@ -759,9 +827,13 @@ mod obs {
 /// bookkeeping, and one [`QueueProbe`] (+ registered depth gauge) per
 /// instrumented queue. Present only when [`RunParams::profile`] is set.
 ///
-/// Core indexing: core 0 is the dispatcher, core `w + 1` is worker `w`.
+/// Core indexing: cores `0..wbase` are the dispatcher cores (one on
+/// single-dispatcher runs, labelled `dispatcher`; `dispatcherN`
+/// otherwise), core `wbase + w` is worker `w`.
 struct ProfPlane {
     cores: CoreProfiler,
+    /// First worker core index (= the dispatcher count).
+    wbase: usize,
     /// Parked (yielded, fetch outstanding) unithreads per worker —
     /// decides whether an idle gap is `Park` or `Idle`.
     parked: Vec<u32>,
@@ -772,6 +844,10 @@ struct ProfPlane {
     /// Dispatcher ingress queue (the central `pending` queue).
     ingress: QueueProbe,
     ingress_gauge: GaugeId,
+    /// Per-dispatcher ingress slots (arrivals awaiting their admit
+    /// tick); empty on single-dispatcher runs.
+    dingress: Vec<QueueProbe>,
+    dingress_gauges: Vec<Option<GaugeId>>,
     /// Per-worker runnable (resume) queues.
     runnable: Vec<QueueProbe>,
     runnable_gauges: Vec<Option<GaugeId>>,
@@ -841,8 +917,30 @@ pub struct Simulation<'w> {
     /// run end from the live request slots).
     cons: Conservation,
     rr_next: usize,
-    dispatcher_free: SimTime,
-    admission_backlog: usize,
+    /// One admission timeline per dispatcher core (`max`-clamped
+    /// high-water marks; index 0 reproduces the scalar pre-scaling
+    /// timeline bit-for-bit on single-dispatcher runs).
+    dispatcher_free: Vec<SimTime>,
+    /// Arrivals published to each dispatcher's ingress slot that have
+    /// not reached their admit tick yet (rx-ring bounded per slot).
+    admission_backlog: Vec<usize>,
+    /// RSS-style steering of arrivals onto ingress slots (constant 0
+    /// with one dispatcher).
+    fanin: IngressFanIn,
+    /// Flat-combining state: the current combiner, its batch window's
+    /// end, members so far, and the end of the last admission charged
+    /// under the combiner lock (admissions stay globally FIFO — the
+    /// combiner role is exclusive, only its *cost* is amortised).
+    fc_leader: usize,
+    fc_until: SimTime,
+    fc_count: usize,
+    fc_tail: SimTime,
+    /// Per-dispatcher metric handles; empty on single-dispatcher runs
+    /// (schema compatibility — see [`DispatcherMetricIds`]).
+    disp_ids: Vec<DispatcherMetricIds>,
+    /// Dispatcher-timeline charges for the differential oracle.
+    #[cfg(test)]
+    dispatcher_log: Vec<DispatchCharge>,
     inflight: FxHashMap<u64, Inflight>,
     /// Per-shard dirty pages whose write-back is waiting for that
     /// shard's reclaimer-QP slot.
@@ -989,26 +1087,62 @@ impl<'w> Simulation<'w> {
             }
         });
 
+        // Dispatcher scaling: per-dispatcher counters join the registry
+        // only when the ingress plane has more than one core, mirroring
+        // the shard/tenant gating discipline — a single dispatcher must
+        // serialise the exact pre-scaling schema.
+        let ndisp = cfg.ndispatchers();
+        let observed = params.telemetry.is_some() || params.profile.is_some();
+        let disp_ids = if ndisp > 1 {
+            (0..ndisp)
+                .map(|d| DispatcherMetricIds::register(&mut metrics, d, observed))
+                .collect()
+        } else {
+            Vec::new()
+        };
         // Dispatcher utilization joins the registry only when an
         // observer (telemetry or the profiler) wants it: the default
-        // schema must stay byte-identical to the golden capture.
-        let dispatcher_busy_gauge = (params.telemetry.is_some() || params.profile.is_some())
-            .then(|| metrics.gauge("dispatcher.busy_fraction"));
+        // schema must stay byte-identical to the golden capture. With
+        // more than one dispatcher the scalar gauge gives way to the
+        // per-core `dispatcherN.busy_fraction` gauges above.
+        let dispatcher_busy_gauge =
+            (ndisp == 1 && observed).then(|| metrics.gauge("dispatcher.busy_fraction"));
         // The profiler's probes and depth gauges, like every other
         // instrument, must register before the flight recorder below so
         // telemetry runs sample them.
         let prof = params.profile.take().map(|pc| {
             let mut cores = CoreProfiler::new(warmup_end, measure_end, &pc);
-            cores.add_core("dispatcher".to_string(), false);
+            if ndisp == 1 {
+                cores.add_core("dispatcher".to_string(), false);
+            } else {
+                for d in 0..ndisp {
+                    cores.add_core(format!("dispatcher{d}"), false);
+                }
+            }
             for w in 0..cfg.workers {
                 cores.add_core(format!("worker{w}"), true);
             }
             ProfPlane {
                 cores,
+                wbase: ndisp,
                 parked: vec![0; cfg.workers],
                 frame_wait_ns: 0,
                 ingress: QueueProbe::new("ingress".to_string(), warmup_end, measure_end),
                 ingress_gauge: metrics.gauge(queue_names::INGRESS),
+                dingress: if ndisp > 1 {
+                    (0..ndisp)
+                        .map(|d| QueueProbe::new(format!("d{d}.ingress"), warmup_end, measure_end))
+                        .collect()
+                } else {
+                    Vec::new()
+                },
+                dingress_gauges: if ndisp > 1 {
+                    (0..ndisp)
+                        .map(|d| queue_names::D_INGRESS.get(d).map(|n| metrics.gauge(n)))
+                        .collect()
+                } else {
+                    Vec::new()
+                },
                 runnable: (0..cfg.workers)
                     .map(|w| QueueProbe::new(format!("w{w}.runnable"), warmup_end, measure_end))
                     .collect(),
@@ -1142,8 +1276,16 @@ impl<'w> Simulation<'w> {
             tenplane,
             cons: Conservation::default(),
             rr_next: 0,
-            dispatcher_free: SimTime::ZERO,
-            admission_backlog: 0,
+            dispatcher_free: vec![SimTime::ZERO; ndisp],
+            admission_backlog: vec![0; ndisp],
+            fanin: IngressFanIn::new(ndisp, params.seed ^ 0xD15A_7C48_0000_0001),
+            fc_leader: 0,
+            fc_until: SimTime::ZERO,
+            fc_count: 0,
+            fc_tail: SimTime::ZERO,
+            disp_ids,
+            #[cfg(test)]
+            dispatcher_log: Vec::new(),
             inflight: FxHashMap::default(),
             deferred_writebacks: vec![VecDeque::new(); shards],
             reclaim_state: ReclaimState::Idle,
@@ -1312,12 +1454,16 @@ impl<'w> Simulation<'w> {
             b.rec.finish(episodes)
         });
         // Close every core's tail gap at the window end and freeze the
-        // tilings; queue reports keep a fixed order (ingress, per-worker
-        // runnable, per-shard SQ, per-shard write-back) so serialisation
-        // is deterministic.
+        // tilings; queue reports keep a fixed order (ingress,
+        // per-dispatcher ingress slots when scaled, per-worker runnable,
+        // per-shard SQ, per-shard write-back) so serialisation is
+        // deterministic.
         let profile = self.prof.take().map(|p| {
-            let mut queues = Vec::with_capacity(1 + p.runnable.len() + p.sq.len() + p.wb.len());
+            let mut queues = Vec::with_capacity(
+                1 + p.dingress.len() + p.runnable.len() + p.sq.len() + p.wb.len(),
+            );
             queues.push(p.ingress.report());
+            queues.extend(p.dingress.iter().map(QueueProbe::report));
             queues.extend(p.runnable.iter().map(QueueProbe::report));
             queues.extend(p.sq.iter().map(QueueProbe::report));
             queues.extend(p.wb.iter().map(QueueProbe::report));
@@ -1408,6 +1554,8 @@ impl<'w> Simulation<'w> {
             conservation: self.cons,
             telemetry,
             profile,
+            #[cfg(test)]
+            dispatcher_log: std::mem::take(&mut self.dispatcher_log),
         }
     }
 
@@ -1488,15 +1636,15 @@ impl<'w> Simulation<'w> {
     //
     // All hooks are one integer test when the profiler is off
     // (mirroring [`Simulation::trace`]); none of them schedules events,
-    // so enabling the profiler never perturbs a run. Core 0 is the
-    // dispatcher; worker `w` tiles core `w + 1`.
+    // so enabling the profiler never perturbs a run. Cores `0..wbase`
+    // are the dispatcher cores; worker `w` tiles core `wbase + w`.
 
     /// Accrues worker `w`'s open gap (idle/park/stall) up to `now`.
     #[inline]
     fn wprof_flush(&mut self, w: usize, now: SimTime) {
         if self.obs_mask & obs::PROFILE != 0 {
             if let Some(p) = &mut self.prof {
-                p.cores.flush(w + 1, now);
+                p.cores.flush(p.wbase + w, now);
             }
         }
     }
@@ -1506,7 +1654,7 @@ impl<'w> Simulation<'w> {
     fn wprof_phase(&mut self, w: usize, state: CoreState, until: SimTime) {
         if self.obs_mask & obs::PROFILE != 0 {
             if let Some(p) = &mut self.prof {
-                p.cores.phase(w + 1, state, until);
+                p.cores.phase(p.wbase + w, state, until);
             }
         }
     }
@@ -1516,7 +1664,7 @@ impl<'w> Simulation<'w> {
     fn wprof_gap(&mut self, w: usize, state: CoreState) {
         if self.obs_mask & obs::PROFILE != 0 {
             if let Some(p) = &mut self.prof {
-                p.cores.set_gap(w + 1, state);
+                p.cores.set_gap(p.wbase + w, state);
             }
         }
     }
@@ -1528,28 +1676,48 @@ impl<'w> Simulation<'w> {
     fn wprof_handoff_from(&mut self, w: usize, start: SimTime, until: SimTime) {
         if self.obs_mask & obs::PROFILE != 0 {
             if let Some(p) = &mut self.prof {
-                p.cores.flush(w + 1, start);
-                p.cores.phase(w + 1, CoreState::Handoff, until);
+                p.cores.flush(p.wbase + w, start);
+                p.cores.phase(p.wbase + w, CoreState::Handoff, until);
             }
         }
     }
 
-    /// Records one dispatcher busy interval `[start, end]` of the given
-    /// state. Intervals are naturally monotone (every `dispatcher_free`
-    /// advance is `max`-clamped), so the 1 → 0 gauge edges integrate to
-    /// the true busy fraction in the window aggregate.
+    /// Records one busy interval `[start, end]` of the given state on
+    /// dispatcher core `d`'s timeline. Per-core intervals are naturally
+    /// monotone (every `dispatcher_free[d]` advance is `max`-clamped),
+    /// so the 1 → 0 gauge edges integrate to the true busy fraction in
+    /// the window aggregate.
     #[inline]
-    fn dispatcher_busy(&mut self, start: SimTime, end: SimTime, state: CoreState) {
+    fn dispatcher_busy(&mut self, d: usize, start: SimTime, end: SimTime, state: CoreState) {
         if let Some(g) = self.dispatcher_busy_gauge {
             self.metrics.gauge_set(g, start, 1.0);
             self.metrics.gauge_set(g, end, 0.0);
         }
-        if self.obs_mask & obs::PROFILE != 0 {
-            if let Some(p) = &mut self.prof {
-                p.cores.flush(0, start);
-                p.cores.phase(0, state, end);
+        if let Some(ids) = self.disp_ids.get(d) {
+            if let Some(g) = ids.busy {
+                self.metrics.gauge_set(g, start, 1.0);
+                self.metrics.gauge_set(g, end, 0.0);
             }
         }
+        if self.obs_mask & obs::PROFILE != 0 {
+            if let Some(p) = &mut self.prof {
+                p.cores.flush(d, start);
+                p.cores.phase(d, state, end);
+            }
+        }
+    }
+
+    /// Logs one dispatcher-timeline charge for the differential oracle
+    /// (test builds only — the release hot path carries no log).
+    #[cfg(test)]
+    fn log_charge(&mut self, op: DispatchOp, now: SimTime, start: SimTime, end: SimTime, d: usize) {
+        self.dispatcher_log.push(DispatchCharge {
+            op,
+            now,
+            start,
+            end,
+            disp: d,
+        });
     }
 
     /// Ingress (central pending queue) enter/leave.
@@ -1562,6 +1730,25 @@ impl<'w> Simulation<'w> {
                 p.ingress.dequeue(now)
             };
             self.metrics.gauge_set(p.ingress_gauge, now, d as f64);
+        }
+    }
+
+    /// Dispatcher `d`'s ingress slot enter/leave (multi-dispatcher runs
+    /// only — the probes are not built otherwise).
+    #[inline]
+    fn q_dingress(&mut self, d: usize, now: SimTime, push: bool) {
+        if let Some(p) = &mut self.prof {
+            let Some(probe) = p.dingress.get_mut(d) else {
+                return;
+            };
+            let depth = if push {
+                probe.enqueue(now)
+            } else {
+                probe.dequeue(now)
+            };
+            if let Some(g) = p.dingress_gauges[d] {
+                self.metrics.gauge_set(g, now, depth as f64);
+            }
         }
     }
 
@@ -1638,13 +1825,13 @@ impl<'w> Simulation<'w> {
         if let Some(p) = &mut self.prof {
             p.parked[w] -= 1;
             if idle {
-                p.cores.flush(w + 1, now);
+                p.cores.flush(p.wbase + w, now);
                 let gap = if p.parked[w] > 0 {
                     CoreState::Park
                 } else {
                     CoreState::Idle
                 };
-                p.cores.set_gap(w + 1, gap);
+                p.cores.set_gap(p.wbase + w, gap);
             }
         }
     }
@@ -1676,6 +1863,8 @@ impl<'w> Simulation<'w> {
             trace,
             step: 0,
             tenant,
+            disp: 0,
+            ingress_slot: 0,
             tx_time: tx,
             sched_epoch: tx,
             worker: usize::MAX,
@@ -1936,10 +2125,13 @@ impl<'w> Simulation<'w> {
         }
         let tenant = self.reqs[req].as_ref().expect("dangling request id").tenant;
         // Watermark depth is the full dispatcher ingress picture:
-        // requests waiting for their admit tick plus both central
+        // requests waiting for their admit tick — summed over *every*
+        // dispatcher's ingress slot, not just one — plus both central
         // queues. Under dispatcher-bound overload the backlog pools in
-        // `admission_backlog` before it ever reaches `pending`.
-        let depth = self.pending_depth() + self.admission_backlog;
+        // `admission_backlog` before it ever reaches `pending`, and on
+        // scaled ingress planes it pools across all the slots at once;
+        // counting a single slot would shed `dispatchers ×` too late.
+        let depth = self.pending_depth() + self.admission_backlog.iter().sum::<usize>();
         let shed = {
             let tp = self.tenplane.as_mut().expect("checked above");
             let t = tenant as usize;
@@ -1961,6 +2153,86 @@ impl<'w> Simulation<'w> {
         self.telem_tenant(tenant, true);
         self.trace(now, "dispatch", "shed", req as u64, tenant as u64);
         true
+    }
+
+    /// Chooses the dispatcher core that admits an arrival steered to
+    /// ingress slot `home` and charges the admission on its timeline,
+    /// per [`DispatchPolicy`]. Returns `(serving core, start, end)` of
+    /// the charge; the admit event fires at `end`.
+    fn admit_on_policy(&mut self, now: SimTime, home: usize) -> (usize, SimTime, SimTime) {
+        let admit_cost = self.cfg.dispatch_cost + self.cfg.client_stack;
+        let ndisp = self.dispatcher_free.len();
+        match self.cfg.dispatch_policy {
+            // The paper's design: one shared FCFS queue whose head is a
+            // serialization point. Admissions run on core 0's timeline
+            // no matter how many dispatcher cores exist — the sweep
+            // measures exactly this cliff.
+            DispatchPolicy::SingleFcfs => {
+                let start = self.dispatcher_free[0].max(now);
+                let end = start + admit_cost;
+                self.dispatcher_free[0] = end;
+                (0, start, end)
+            }
+            DispatchPolicy::WorkStealing => {
+                let mut serve = home;
+                let mut cost = admit_cost;
+                if ndisp > 1 {
+                    let thief = (0..ndisp)
+                        .min_by_key(|&d| (self.dispatcher_free[d], d))
+                        .expect("at least one dispatcher");
+                    // A steal pays only when the thief wins even after
+                    // the steal synchronization — except during an
+                    // active fault episode, where the margin is waived
+                    // so siblings drain a degraded dispatcher's slot as
+                    // soon as they are strictly earlier.
+                    let margin = if self.plane.active() && self.plane.episode_active(now) {
+                        SimDuration::ZERO
+                    } else {
+                        self.cfg.steal_cost
+                    };
+                    if thief != home
+                        && self.dispatcher_free[thief] + margin < self.dispatcher_free[home]
+                    {
+                        serve = thief;
+                        cost = admit_cost + self.cfg.steal_cost;
+                        if let Some(ids) = self.disp_ids.get(serve) {
+                            self.metrics.inc(ids.steals);
+                        }
+                        self.trace(now, "dispatch", "disp_steal", serve as u64, home as u64);
+                    }
+                }
+                let start = self.dispatcher_free[serve].max(now);
+                let end = start + cost;
+                self.dispatcher_free[serve] = end;
+                (serve, start, end)
+            }
+            DispatchPolicy::FlatCombining => {
+                // The combiner role is exclusive: admissions serialise
+                // behind `fc_tail` and stay globally FIFO; only the
+                // *cost* is amortised. A batch opener pays the full
+                // admission, joiners inside its window a quarter of the
+                // dispatch cost (the combiner's amortised slot scan).
+                let (serve, cost) =
+                    if now < self.fc_until && self.fc_count < self.cfg.combining_batch.max(1) {
+                        self.fc_count += 1;
+                        if let Some(ids) = self.disp_ids.get(self.fc_leader) {
+                            self.metrics.inc(ids.combines);
+                        }
+                        let pass = SimDuration::from_nanos(self.cfg.dispatch_cost.as_nanos() / 4);
+                        (self.fc_leader, pass + self.cfg.client_stack)
+                    } else {
+                        self.fc_leader = home;
+                        self.fc_until = now + self.cfg.combining_window;
+                        self.fc_count = 1;
+                        (home, admit_cost)
+                    };
+                let start = self.fc_tail.max(self.dispatcher_free[serve]).max(now);
+                let end = start + cost;
+                self.dispatcher_free[serve] = end;
+                self.fc_tail = end;
+                (serve, start, end)
+            }
+        }
     }
 
     fn on_arrival(&mut self, now: SimTime, req: usize) {
@@ -2002,7 +2274,11 @@ impl<'w> Simulation<'w> {
         }
         match self.cfg.queue_model {
             QueueModel::SingleQueue => {
-                if self.admission_backlog >= self.cfg.fabric.rx_ring_entries
+                // Arrival fan-in: the NIC's RSS hash lands the packet in
+                // one dispatcher's ingress slot (always slot 0 with one
+                // dispatcher — the steer is a constant there).
+                let home = self.fanin.steer();
+                if self.admission_backlog[home] >= self.cfg.fabric.rx_ring_entries
                     || self.pending_depth() >= self.cfg.pending_cap
                 {
                     self.recorder.drop_request(tx);
@@ -2014,7 +2290,8 @@ impl<'w> Simulation<'w> {
                     self.trace(now, "dispatch", "drop", req as u64, 0);
                     return;
                 }
-                self.admission_backlog += 1;
+                self.admission_backlog[home] += 1;
+                self.q_dingress(home, now, true);
                 if let Some(tp) = &self.tenplane {
                     // Priority-split ingress: the admit tick below pops
                     // hi-first (see `on_admit`), so the `req` carried by
@@ -2025,10 +2302,19 @@ impl<'w> Simulation<'w> {
                         self.ingress_hi.push_back(req);
                     }
                 }
-                let start = self.dispatcher_free.max(now);
-                self.dispatcher_free = start + self.cfg.dispatch_cost + self.cfg.client_stack;
-                self.dispatcher_busy(start, self.dispatcher_free, CoreState::Dispatch);
-                self.events.push(self.dispatcher_free, Ev::Admit { req });
+                let (serve, start, end) = self.admit_on_policy(now, home);
+                {
+                    let r = self.reqs[req].as_mut().expect("dangling request id");
+                    r.disp = serve as u16;
+                    r.ingress_slot = home as u16;
+                }
+                if let Some(ids) = self.disp_ids.get(serve) {
+                    self.metrics.inc(ids.admitted);
+                }
+                self.dispatcher_busy(serve, start, end, CoreState::Dispatch);
+                #[cfg(test)]
+                self.log_charge(DispatchOp::Admit, now, start, end, serve);
+                self.events.push(end, Ev::Admit { req });
             }
             QueueModel::PerWorker | QueueModel::PerWorkerStealing => {
                 // RSS-style random steering straight into a worker queue.
@@ -2064,7 +2350,16 @@ impl<'w> Simulation<'w> {
         } else {
             req
         };
-        self.admission_backlog -= 1;
+        // The popped identity vacates the ingress slot it was steered
+        // to at arrival (each identity increments and decrements its
+        // own slot exactly once, so the per-slot counts stay exact
+        // even when the tenant plane reorders hi-before-lo).
+        let slot = self.reqs[req]
+            .as_ref()
+            .expect("dangling request id")
+            .ingress_slot as usize;
+        self.admission_backlog[slot] -= 1;
+        self.q_dingress(slot, now, false);
         // Dispatcher admission work: delivery → admit.
         if let Some(sb) = self.sb(req) {
             sb.phase(stage::DISPATCH, now);
@@ -2075,6 +2370,13 @@ impl<'w> Simulation<'w> {
             (r.tenant, r.tx_time)
         };
         self.tenant_note(tenant, TenantEvent::Admitted, tx, 0);
+        // Multi-dispatcher admit commit: `a` = request, `b` = serving
+        // dispatcher. Gated off the single-dispatcher machine so the
+        // golden single-dispatcher byte streams stay untouched.
+        if self.dispatcher_free.len() > 1 {
+            let d = self.reqs[req].as_ref().expect("dangling request id").disp as u64;
+            self.trace(now, "dispatch", "disp_admit", req as u64, d);
+        }
         self.push_pending(req);
         self.try_dispatch(now);
     }
@@ -2088,11 +2390,17 @@ impl<'w> Simulation<'w> {
             };
             let req = self.pop_pending().expect("non-empty pending");
             self.q_ingress(now, false);
-            let start = self.dispatcher_free.max(now);
+            // The handoff is charged on the dispatcher that admitted
+            // the request — it owns the run-queue entry.
+            let d = self.reqs[req].as_ref().expect("dangling request id").disp as usize;
+            let start = self.dispatcher_free[d].max(now);
             let hstart = start.max(self.workers[w].free_at);
             let wake = hstart + self.cfg.handoff_cost;
-            self.dispatcher_free = start + self.cfg.handoff_cost;
-            self.dispatcher_busy(start, self.dispatcher_free, CoreState::Handoff);
+            let dend = start + self.cfg.handoff_cost;
+            self.dispatcher_free[d] = dend;
+            self.dispatcher_busy(d, start, dend, CoreState::Handoff);
+            #[cfg(test)]
+            self.log_charge(DispatchOp::PushHandoff, now, start, dend, d);
             self.wprof_handoff_from(w, hstart, wake);
             self.workers[w].busy = true;
             self.metrics.inc(self.ids.dispatches);
@@ -2108,8 +2416,21 @@ impl<'w> Simulation<'w> {
     }
 
     fn pick_idle_worker(&mut self) -> Option<usize> {
-        match self.cfg.dispatch_policy {
-            DispatchPolicy::RoundRobin => {
+        // With multiple dispatchers during an active fault episode,
+        // worker selection is forced PF-aware regardless of the
+        // configured policy: error CQEs hold QP slots until their
+        // retirement fires, so min-outstanding selection steers new
+        // work away from QPs with outstanding error chains while the
+        // degraded queues drain.
+        let mut select = self.cfg.worker_select;
+        if self.dispatcher_free.len() > 1
+            && self.plane.active()
+            && self.plane.episode_active(self.last_now)
+        {
+            select = WorkerSelect::PfAware;
+        }
+        match select {
+            WorkerSelect::RoundRobin => {
                 let n = self.cfg.workers;
                 for k in 0..n {
                     let w = (self.rr_next + k) % n;
@@ -2120,7 +2441,7 @@ impl<'w> Simulation<'w> {
                 }
                 None
             }
-            DispatchPolicy::PfAware => {
+            WorkerSelect::PfAware => {
                 // SortByOutstandingPFCount over idle workers: take the
                 // minimum (ties by index for determinism). A worker's
                 // outstanding count spans every shard rail its QP id is
@@ -3009,10 +3330,13 @@ impl<'w> Simulation<'w> {
             QueueModel::SingleQueue => {
                 if let Some(req) = self.pop_pending() {
                     self.q_ingress(t, false);
-                    let start = self.dispatcher_free.max(t);
+                    let d = self.reqs[req].as_ref().expect("dangling request id").disp as usize;
+                    let start = self.dispatcher_free[d].max(t);
                     let wake = start + self.cfg.handoff_cost;
-                    self.dispatcher_free = wake;
-                    self.dispatcher_busy(start, wake, CoreState::Handoff);
+                    self.dispatcher_free[d] = wake;
+                    self.dispatcher_busy(d, start, wake, CoreState::Handoff);
+                    #[cfg(test)]
+                    self.log_charge(DispatchOp::PullHandoff, t, start, wake, d);
                     // Pull-path handoff: the worker waits on the
                     // dispatcher, so the whole `[t, wake]` interval is
                     // handoff time on the worker core too.
@@ -3073,7 +3397,7 @@ impl<'w> Simulation<'w> {
             } else {
                 CoreState::Idle
             };
-            p.cores.set_gap(w + 1, gap);
+            p.cores.set_gap(p.wbase + w, gap);
         }
         self.workers[w].busy = false;
         self.workers[w].free_at = t;
@@ -3123,9 +3447,13 @@ impl<'w> Simulation<'w> {
             // buffer within its normal polling batches. Only the
             // recycle *work* loads the dispatcher — the CQE's arrival
             // time does not stall admissions (CQEs wait in the CQ).
-            let start = self.dispatcher_free.max(t);
-            self.dispatcher_free = start + self.cfg.recycle_cost;
-            self.dispatcher_busy(start, self.dispatcher_free, CoreState::Dispatch);
+            let d = self.reqs[req].as_ref().expect("dangling request id").disp as usize;
+            let start = self.dispatcher_free[d].max(t);
+            let dend = start + self.cfg.recycle_cost;
+            self.dispatcher_free[d] = dend;
+            self.dispatcher_busy(d, start, dend, CoreState::Dispatch);
+            #[cfg(test)]
+            self.log_charge(DispatchOp::Recycle, t, start, dend, d);
         } else {
             // The worker spins until the TX completion. The spin can
             // outlast the client's receive instant (CQE raise vs. wire
@@ -4164,5 +4492,230 @@ mod tests {
         assert!(res.conservation.arrivals > 0);
         assert_eq!(res.conservation.sheds, 0, "no plane, no sheds");
         assert!(res.tenants.is_empty(), "no plane, no tenant windows");
+    }
+
+    // ----- dispatcher scaling --------------------------------------------
+
+    /// Scalar single-queue reference dispatcher: replays a charge log
+    /// with the exact arithmetic the pre-scaling hot path used
+    /// (`free = max(free, now) + cost`) and asserts the multi-queue
+    /// implementation produced the identical admit/handoff sequence.
+    fn assert_matches_scalar_reference(cfg: &SystemConfig, log: &[DispatchCharge]) {
+        assert!(!log.is_empty(), "the oracle needs a non-empty charge log");
+        let mut free = SimTime::ZERO;
+        for (i, c) in log.iter().enumerate() {
+            assert_eq!(c.disp, 0, "charge {i}: SingleFcfs must serve on core 0");
+            let cost = match c.op {
+                DispatchOp::Admit => cfg.dispatch_cost + cfg.client_stack,
+                DispatchOp::PushHandoff | DispatchOp::PullHandoff => cfg.handoff_cost,
+                DispatchOp::Recycle => cfg.recycle_cost,
+            };
+            let start = free.max(c.now);
+            let end = start + cost;
+            assert_eq!(
+                (c.start, c.end),
+                (start, end),
+                "charge {i} ({:?} at {:?}) diverges from the scalar reference",
+                c.op,
+                c.now
+            );
+            free = end;
+        }
+    }
+
+    #[test]
+    fn single_fcfs_matches_scalar_reference_dispatcher() {
+        // Lock-step differential oracle, at one dispatcher (the default
+        // machine) and at four (extra cores must change nothing under
+        // SingleFcfs — the shared queue head serialises on core 0).
+        for ndisp in [1, 4] {
+            let cfg = SystemConfig {
+                dispatchers: ndisp,
+                ..SystemConfig::adios()
+            };
+            let mut w = small_workload();
+            let res = run_one(cfg.clone(), &mut w, quick_params(900_000.0));
+            let kinds: std::collections::HashSet<_> =
+                res.dispatcher_log.iter().map(|c| c.op).collect();
+            assert!(
+                kinds.contains(&DispatchOp::Admit) && kinds.contains(&DispatchOp::Recycle),
+                "the run must exercise admits and delegated recycles"
+            );
+            assert_matches_scalar_reference(&cfg, &res.dispatcher_log);
+        }
+    }
+
+    #[test]
+    fn single_dispatcher_registers_no_per_dispatcher_counters() {
+        use desim::trace::dispatcher_names as dn;
+        let res = run(SystemKind::Adios, 400_000.0);
+        for d in 0..dn::MAX_DISPATCHERS {
+            assert_eq!(
+                res.metrics.counter(dn::ADMITTED[d]),
+                None,
+                "dispatcher counters must not exist on single-dispatcher runs"
+            );
+        }
+    }
+
+    #[test]
+    fn single_fcfs_extra_dispatchers_stay_idle() {
+        use desim::trace::dispatcher_names as dn;
+        let cfg = SystemConfig {
+            dispatchers: 4,
+            ..SystemConfig::adios()
+        };
+        let mut w = small_workload();
+        let res = run_one(cfg, &mut w, quick_params(900_000.0));
+        let c = |name| res.metrics.counter(name).unwrap_or(0);
+        assert!(c(dn::ADMITTED[0]) > 0, "core 0 serves every admission");
+        for d in 1..4 {
+            assert_eq!(c(dn::ADMITTED[d]), 0, "SingleFcfs keeps core {d} idle");
+            assert_eq!(c(dn::STEALS[d]), 0);
+            assert_eq!(c(dn::COMBINES[d]), 0);
+        }
+        assert!(res.conservation.holds(), "{:?}", res.conservation);
+    }
+
+    #[test]
+    fn work_stealing_steals_under_skew_and_conserves() {
+        use desim::trace::dispatcher_names as dn;
+        let cfg = SystemConfig {
+            dispatchers: 4,
+            dispatch_policy: DispatchPolicy::WorkStealing,
+            workers: 32,
+            ..SystemConfig::adios()
+        };
+        let mut w = small_workload();
+        let res = run_one(
+            cfg,
+            &mut w,
+            RunParams {
+                local_mem_fraction: 1.0,
+                ..quick_params(5_000_000.0)
+            },
+        );
+        let c = |name| res.metrics.counter(name).unwrap_or(0);
+        let admitted: u64 = (0..4).map(|d| c(dn::ADMITTED[d])).sum();
+        assert!(admitted > 0);
+        assert!(
+            (0..4).all(|d| c(dn::ADMITTED[d]) > 0),
+            "RSS fan-in plus stealing must spread admissions over every core"
+        );
+        let steals: u64 = (0..4).map(|d| c(dn::STEALS[d])).sum();
+        assert!(steals > 0, "overload must trigger steals from hot slots");
+        assert!(res.conservation.holds(), "{:?}", res.conservation);
+    }
+
+    #[test]
+    fn flat_combining_amortises_admissions() {
+        use desim::trace::dispatcher_names as dn;
+        let cfg = SystemConfig {
+            dispatchers: 4,
+            dispatch_policy: DispatchPolicy::FlatCombining,
+            workers: 32,
+            ..SystemConfig::adios()
+        };
+        let mut w = small_workload();
+        let res = run_one(
+            cfg,
+            &mut w,
+            RunParams {
+                local_mem_fraction: 1.0,
+                ..quick_params(5_000_000.0)
+            },
+        );
+        let c = |name| res.metrics.counter(name).unwrap_or(0);
+        let admitted: u64 = (0..4).map(|d| c(dn::ADMITTED[d])).sum();
+        let combines: u64 = (0..4).map(|d| c(dn::COMBINES[d])).sum();
+        assert!(combines > 0, "a saturated combiner must batch admissions");
+        assert!(
+            combines < admitted,
+            "every batch has an opener that pays full cost"
+        );
+        assert!(res.conservation.holds(), "{:?}", res.conservation);
+    }
+
+    #[test]
+    fn work_stealing_scales_past_the_single_queue_knee() {
+        // Dispatcher-bound regime: all-local requests on a wide worker
+        // pool, offered far past the single-dispatcher admission rate.
+        // Four stealing dispatchers must beat one shared FCFS queue by
+        // a wide margin on the same machine.
+        let params = || RunParams {
+            local_mem_fraction: 1.0,
+            ..quick_params(5_000_000.0)
+        };
+        let fcfs = {
+            let cfg = SystemConfig {
+                dispatchers: 4,
+                workers: 32,
+                ..SystemConfig::adios()
+            };
+            let mut w = small_workload();
+            run_one(cfg, &mut w, params()).recorder.achieved_rps()
+        };
+        let ws = {
+            let cfg = SystemConfig {
+                dispatchers: 4,
+                dispatch_policy: DispatchPolicy::WorkStealing,
+                workers: 32,
+                ..SystemConfig::adios()
+            };
+            let mut w = small_workload();
+            run_one(cfg, &mut w, params()).recorder.achieved_rps()
+        };
+        assert!(
+            ws > fcfs * 1.3,
+            "work stealing {ws:.0} rps must clearly beat single FCFS {fcfs:.0} rps"
+        );
+    }
+
+    /// Red-green regression for the shed watermark: the depth it
+    /// compares must sum the admission backlog over *every* ingress
+    /// slot. Under the old single-slot accounting, four slots of 10
+    /// waiting admits each would read as depth 10 and the watermark at
+    /// 32 would never trip.
+    #[test]
+    fn shed_watermark_sums_backlog_across_all_ingress_slots() {
+        let plane = || {
+            TenantPlane::new(vec![
+                TenantSpec::new(100_000.0, "array", TenantPriority::High),
+                TenantSpec::new(100_000.0, "array", TenantPriority::Low),
+            ])
+            .with_shed_watermark(32)
+        };
+        let cfg = SystemConfig {
+            dispatchers: 4,
+            dispatch_policy: DispatchPolicy::FlatCombining,
+            ..SystemConfig::adios()
+        };
+        let mut w = small_workload();
+        let mut sim = Simulation::new(
+            cfg,
+            &mut w,
+            RunParams {
+                tenants: Some(plane()),
+                ..quick_params(100_000.0)
+            },
+        );
+        // Every slot individually under the watermark, the machine as a
+        // whole past it: the low-priority request must shed.
+        sim.admission_backlog = vec![10, 10, 10, 10];
+        let lo = sim.alloc_req(Trace::default(), SimTime::ZERO, 1);
+        sim.cons.arrivals += 1;
+        assert!(
+            sim.tenant_admission(SimTime::ZERO, lo),
+            "summed ingress backlog (40) must trip the watermark (32)"
+        );
+        // High priority is never watermark-shed, whatever the depth.
+        let hi = sim.alloc_req(Trace::default(), SimTime::ZERO, 0);
+        sim.cons.arrivals += 1;
+        assert!(!sim.tenant_admission(SimTime::ZERO, hi));
+        // And a genuinely shallow machine admits low priority.
+        sim.admission_backlog = vec![10, 0, 0, 0];
+        let lo2 = sim.alloc_req(Trace::default(), SimTime::ZERO, 1);
+        sim.cons.arrivals += 1;
+        assert!(!sim.tenant_admission(SimTime::ZERO, lo2));
     }
 }

@@ -57,13 +57,13 @@ fn main() {
     println!("\nPF-aware vs round-robin dispatching (Adios, mean P99.9 over 4 seeds):");
     let offered = 650_000.0; // moderate load: idle-worker choice matters
     for (name, policy) in [
-        ("round-robin", DispatchPolicy::RoundRobin),
-        ("PF-aware", DispatchPolicy::PfAware),
+        ("round-robin", WorkerSelect::RoundRobin),
+        ("PF-aware", WorkerSelect::PfAware),
     ] {
         let mut total = 0.0;
         for seed in [5, 6, 7, 8] {
             let cfg = SystemConfig {
-                dispatch_policy: policy,
+                worker_select: policy,
                 ..SystemConfig::adios()
             };
             let result = run_one(

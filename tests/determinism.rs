@@ -443,3 +443,75 @@ fn profiler_output_bitwise_reproducible() {
     let c = run_one(SystemConfig::adios(), &mut w4, p2);
     assert_ne!(pa.to_json(), c.profile.as_ref().unwrap().to_json());
 }
+
+#[test]
+fn explicit_single_dispatcher_reproduces_the_golden_byte_stream() {
+    // The dispatcher-scaling knobs must be invisible at their
+    // defaults: spelling out `dispatchers = 1` + `SingleFcfs`
+    // explicitly is the *same machine* as the golden capture above —
+    // same run JSON and Perfetto export, byte for byte, on the
+    // committed FNV anchors.
+    use adios::desim::span::perfetto_json;
+    let mut p = params(5);
+    p.trace_capacity = Some(200_000);
+    p.spans = Some(adios::desim::SpanConfig::with_exemplars(95.0, 32));
+    let cfg = SystemConfig {
+        dispatchers: 1,
+        dispatch_policy: DispatchPolicy::SingleFcfs,
+        ..SystemConfig::adios()
+    };
+    let mut w = ArrayIndexWorkload::new(16_384);
+    let res = run_one(cfg, &mut w, p);
+    let run = adios::core_api::run_json(&res);
+    let spans = perfetto_json(&res.spans.as_ref().unwrap().exemplars);
+    assert_eq!(
+        (run.len(), fnv1a(run.as_bytes())),
+        (5_212_345, 0xbaaf_7950_0447_bf72),
+        "an explicit single-dispatcher machine must reproduce the golden run JSON"
+    );
+    assert_eq!(
+        (spans.len(), fnv1a(spans.as_bytes())),
+        (89_823, 0x2d32_f248_98b5_aab4),
+        "an explicit single-dispatcher machine must reproduce the golden Perfetto JSON"
+    );
+}
+
+#[test]
+fn multi_dispatcher_runs_bitwise_reproducible() {
+    // Scaling the dispatch plane must not cost any determinism: for
+    // every policy on a four-dispatcher machine, equal seeds serialise
+    // to byte-identical run JSON (metrics, per-dispatcher counters and
+    // trace included) — and the policies must not collide with each
+    // other, since their admission schedules genuinely differ.
+    let mut jsons = Vec::new();
+    for policy in [
+        DispatchPolicy::SingleFcfs,
+        DispatchPolicy::WorkStealing,
+        DispatchPolicy::FlatCombining,
+    ] {
+        let cfg = || SystemConfig {
+            dispatchers: 4,
+            dispatch_policy: policy,
+            workers: 32,
+            ..SystemConfig::adios()
+        };
+        let mut p = params(5);
+        p.offered_rps = 3_000_000.0;
+        p.trace_capacity = Some(200_000);
+        let mut w1 = ArrayIndexWorkload::new(16_384);
+        let mut w2 = ArrayIndexWorkload::new(16_384);
+        let a = run_one(cfg(), &mut w1, p.clone());
+        let b = run_one(cfg(), &mut w2, p);
+        assert_eq!(fingerprint(&a), fingerprint(&b), "{policy:?}");
+        let ja = adios::core_api::run_json(&a);
+        assert_eq!(
+            ja,
+            adios::core_api::run_json(&b),
+            "{policy:?}: equal seeds must serialise identically"
+        );
+        jsons.push(ja);
+    }
+    assert_ne!(jsons[0], jsons[1], "stealing must not collide with FCFS");
+    assert_ne!(jsons[0], jsons[2], "combining must not collide with FCFS");
+    assert_ne!(jsons[1], jsons[2], "stealing and combining must differ");
+}

@@ -161,7 +161,7 @@ fn pf_aware_dispatch_never_worse_on_average() {
     for rps in [1_200_000.0, 1_800_000.0] {
         let pf = run_one(SystemConfig::adios(), &mut wl, params(rps));
         let rr_cfg = SystemConfig {
-            dispatch_policy: DispatchPolicy::RoundRobin,
+            worker_select: WorkerSelect::RoundRobin,
             ..SystemConfig::adios()
         };
         let rr = run_one(rr_cfg, &mut wl, params(rps));
