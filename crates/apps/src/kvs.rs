@@ -190,6 +190,10 @@ pub struct MemcachedWorkload {
     request_bytes: u32,
     set_fraction: f64,
     value_len: u32,
+    /// Normalized Zipf CDF over key ranks (rank = key id, so hot keys
+    /// cluster at low arena addresses); `None` keeps the paper's
+    /// uniform key pick.
+    zipf_cdf: Option<Vec<f64>>,
 }
 
 impl MemcachedWorkload {
@@ -200,6 +204,7 @@ impl MemcachedWorkload {
             request_bytes: 24 + KEY_BYTES as u32,
             set_fraction: 0.0,
             value_len,
+            zipf_cdf: None,
         }
     }
 
@@ -211,6 +216,33 @@ impl MemcachedWorkload {
     pub fn with_sets(mut self, set_fraction: f64) -> MemcachedWorkload {
         assert!((0.0..=1.0).contains(&set_fraction));
         self.set_fraction = set_fraction;
+        self
+    }
+
+    /// Switches the key pick from uniform to Zipf(`theta`): key `k` is
+    /// drawn with probability ∝ 1/(k+1)^θ via inverse-CDF binary search
+    /// over a table built once here (no extra RNG draws per request, so
+    /// the request *shape* stays identical to the uniform workload).
+    /// Rank equals key id, so hot keys sit on a handful of arena pages —
+    /// the skew shows up directly as page-heat and (under range
+    /// sharding) shard-heat imbalance. θ ≈ 0.99 is the YCSB default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta` is not finite and positive.
+    pub fn with_zipf(mut self, theta: f64) -> MemcachedWorkload {
+        assert!(theta.is_finite() && theta > 0.0, "zipf theta");
+        let n = self.kvs.num_keys;
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut total = 0.0;
+        for rank in 0..n {
+            total += 1.0 / ((rank + 1) as f64).powf(theta);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        self.zipf_cdf = Some(cdf);
         self
     }
 
@@ -230,7 +262,13 @@ impl Workload for MemcachedWorkload {
     }
 
     fn next_request(&mut self, rng: &mut Rng) -> Trace {
-        let key_id = rng.gen_range(self.kvs.num_keys);
+        let key_id = match &self.zipf_cdf {
+            Some(cdf) => {
+                let u = rng.gen_f64();
+                (cdf.partition_point(|&c| c < u) as u64).min(self.kvs.num_keys - 1)
+            }
+            None => rng.gen_range(self.kvs.num_keys),
+        };
         let mut rec = TraceRecorder::new(CostModel::default());
         // Request parse (memcached protocol header + key).
         rec.compute_ns(120.0);
@@ -347,6 +385,43 @@ mod tests {
             assert!(t.reply_bytes >= 16 + 128);
             assert!(t.accesses() >= 2);
         }
+    }
+
+    #[test]
+    fn zipf_concentrates_on_hot_keys() {
+        let mut w = MemcachedWorkload::new(10_000, 128).with_zipf(0.99);
+        let mut rng = Rng::new(11);
+        let mut hot = 0u64;
+        const DRAWS: u64 = 4_000;
+        for _ in 0..DRAWS {
+            let t = w.next_request(&mut rng);
+            assert_eq!(t.class, CLASS_GET);
+            // Recover the drawn key from the first value byte pattern is
+            // fragile; instead re-draw the same distribution directly.
+            let _ = t;
+        }
+        // Draw from the CDF directly: top 1% of ranks should carry far
+        // more than 1% of the mass under θ=0.99 (≈35% for n=10k).
+        let cdf = w.zipf_cdf.as_ref().unwrap();
+        let mut rng2 = Rng::new(12);
+        for _ in 0..DRAWS {
+            let u = rng2.gen_f64();
+            let k = cdf.partition_point(|&c| c < u) as u64;
+            if k < 100 {
+                hot += 1;
+            }
+        }
+        let share = hot as f64 / DRAWS as f64;
+        assert!(share > 0.2, "top-1% share {share} under Zipf(0.99)");
+        // And the uniform workload stays near 1%.
+        let mut hot_u = 0u64;
+        let mut rng3 = Rng::new(13);
+        for _ in 0..DRAWS {
+            if rng3.gen_range(10_000) < 100 {
+                hot_u += 1;
+            }
+        }
+        assert!((hot_u as f64 / DRAWS as f64) < 0.05);
     }
 
     #[test]

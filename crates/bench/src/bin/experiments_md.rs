@@ -52,6 +52,14 @@ flags:
   --flame <path>     also write the Adios run's folded flamegraph to
                      exactly <path> (implies --profile); render with
                      speedscope or inferno-flamegraph
+  --memory-obs       run the memory-access observatory: prefetch-fate
+                     attribution (hit/late/wasted per detector class),
+                     page-heat/working-set windows and stride
+                     fingerprints; prints the fate table and writes
+                     <out-dir>/memory_<system>.json,
+                     heatmap_<system>.csv and strides_<system>.csv
+  --heatmap <path>   also write the Adios run's page-heat CSV to
+                     exactly <path> (implies --memory-obs)
   --telemetry        run the continuous-telemetry plane: per-tick
                      counter/gauge series, per-QP/per-shard health
                      scores and SLO breach events; writes
@@ -84,7 +92,7 @@ flags:
   --shed-watermark N dispatcher-queue depth beyond which low-priority
                      arrivals are shed (requires --tenants)
   --app <name>       workload for single-stream smoke runs:
-                     array (default), kvs, or llm
+                     array (default), kvs, llm, or scan
   --dispatchers N    model a proportionally scaled machine with N
                      dispatcher cores, 8·N workers and min(N, 8)
                      memnode shards; smoke runs go to deep overload and
@@ -109,6 +117,8 @@ struct Cli {
     telemetry: bool,
     profile: bool,
     flame: Option<PathBuf>,
+    memory_obs: bool,
+    heatmap: Option<PathBuf>,
     tick_us: u64,
     slo: Option<Vec<desim::SloRule>>,
     seed: Option<u64>,
@@ -134,6 +144,7 @@ impl Cli {
             || self.shards.is_some()
             || self.telemetry
             || self.profile
+            || self.memory_obs
             || self.tenants.is_some()
             || self.app.is_some()
             || self.dispatchers.is_some()
@@ -163,7 +174,10 @@ fn app_workload(name: &str) -> Box<dyn Workload> {
         "array" => Box::new(ArrayIndexWorkload::new(16_384)),
         "kvs" => Box::new(MemcachedWorkload::new(100_000, 128)),
         "llm" => Box::new(LlmServeWorkload::new(256, 64)),
-        other => die(&format!("unknown app: {other} (known: array, kvs, llm)")),
+        "scan" => Box::new(RocksDbWorkload::new(100_000, 1024)),
+        other => die(&format!(
+            "unknown app: {other} (known: array, kvs, llm, scan)"
+        )),
     }
 }
 
@@ -183,6 +197,8 @@ fn parse_args(args: &[String]) -> Cli {
         telemetry: false,
         profile: false,
         flame: None,
+        memory_obs: false,
+        heatmap: None,
         tick_us: 100,
         slo: None,
         seed: None,
@@ -256,6 +272,14 @@ fn parse_args(args: &[String]) -> Cli {
                 let v = it.next().unwrap_or_else(|| die("--flame requires a path"));
                 cli.flame = Some(PathBuf::from(v));
                 cli.profile = true;
+            }
+            "--memory-obs" => cli.memory_obs = true,
+            "--heatmap" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("--heatmap requires a path"));
+                cli.heatmap = Some(PathBuf::from(v));
+                cli.memory_obs = true;
             }
             "--bench" => cli.bench = true,
             "--bench-repeats" => {
@@ -354,8 +378,8 @@ fn parse_args(args: &[String]) -> Cli {
             }
             "--app" => {
                 let v = it.next().unwrap_or_else(|| die("--app requires a name"));
-                if !matches!(v.as_str(), "array" | "kvs" | "llm") {
-                    die(&format!("unknown app: {v} (known: array, kvs, llm)"));
+                if !matches!(v.as_str(), "array" | "kvs" | "llm" | "scan") {
+                    die(&format!("unknown app: {v} (known: array, kvs, llm, scan)"));
                 }
                 cli.app = Some(v.clone());
             }
@@ -448,6 +472,7 @@ fn smoke_mode(cli: &Cli) {
                     .unwrap_or_else(desim::telemetry::default_rules),
             }),
             profile: cli.profile.then(desim::ProfileConfig::default),
+            memory: cli.memory_obs.then(MemObsConfig::default),
             ..Default::default()
         };
         if let Some(seed) = cli.seed {
@@ -739,6 +764,87 @@ fn smoke_mode(cli: &Cli) {
             }
         }
 
+        if let Some(m) = &res.memory {
+            use paging::observe::CLASS_NAMES;
+            let t = m.totals();
+            println!(
+                "==== {kind:?}: memory observatory ({} touches, {} distinct pages, \
+                 {} windows of {} µs) ====",
+                m.touches,
+                m.distinct_pages,
+                m.rows.len(),
+                m.window_ns / 1_000
+            );
+            println!(
+                "    {:<12} {:>8} {:>8} {:>6} {:>8} {:>9} {:>14}",
+                "detector", "issued", "hits", "lates", "wasted", "inflight", "late_saved_ns"
+            );
+            for (i, c) in m.classes.iter().enumerate() {
+                if c.issued == 0 {
+                    continue;
+                }
+                println!(
+                    "    {:<12} {:>8} {:>8} {:>6} {:>8} {:>9} {:>14}",
+                    CLASS_NAMES[i],
+                    c.issued,
+                    c.hits,
+                    c.lates,
+                    c.wasted,
+                    c.inflight_at_end,
+                    c.late_saved_ns
+                );
+            }
+            println!(
+                "    conservation: {} issued = {} hits + {} lates + {} wasted + {} in flight ({})",
+                t.issued,
+                t.hits,
+                t.lates,
+                t.wasted,
+                t.inflight_at_end,
+                if m.holds() { "holds" } else { "VIOLATED" }
+            );
+            println!(
+                "    hit-rate {:.3}; working set mean {:.1} / peak {} pages; \
+                 heat skew {:.2}; top stride {}; {} rows dropped",
+                m.hit_rate(),
+                m.ws_mean(),
+                m.ws_peak(),
+                m.heat_skew,
+                m.strides
+                    .first()
+                    .map_or_else(|| "-".to_string(), |(d, _)| d.to_string()),
+                m.obs_dropped
+            );
+            if m.obs_dropped > 0 {
+                eprintln!(
+                    "warning: {kind:?} memory observatory dropped {} rows/records \
+                     (bounded-memory caps); series under-report",
+                    m.obs_dropped
+                );
+            }
+            let json = cli.out_dir.join(format!("memory_{system}.json"));
+            std::fs::write(&json, run_json(&res)).expect("write memory JSON");
+            let heat = cli.out_dir.join(format!("heatmap_{system}.csv"));
+            std::fs::write(&heat, m.heatmap_csv()).expect("write heatmap CSV");
+            let strides = cli.out_dir.join(format!("strides_{system}.csv"));
+            std::fs::write(&strides, m.fingerprint_csv()).expect("write stride CSV");
+            println!(
+                "wrote {}, {}, {}\n",
+                json.display(),
+                heat.display(),
+                strides.display()
+            );
+            if kind == SystemKind::Adios {
+                if let Some(path) = &cli.heatmap {
+                    if let Some(parent) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                        std::fs::create_dir_all(parent).expect("create heatmap directory");
+                    }
+                    std::fs::write(path, m.heatmap_csv()).expect("write heatmap file");
+                    println!("wrote {}\n", path.display());
+                }
+            }
+        }
+
         if cli.trace {
             let trace = res.trace.as_deref().unwrap_or(&[]);
             println!(
@@ -798,6 +904,9 @@ fn smoke_mode(cli: &Cli) {
             }
             if let Some(p) = &res.profile {
                 extra.extend(p.perfetto_events());
+            }
+            if let Some(m) = &res.memory {
+                extra.extend(m.perfetto_counter_events(3_000_000));
             }
             let perfetto = if extra.is_empty() {
                 desim::span::perfetto_json(&report.exemplars)
@@ -907,6 +1016,12 @@ fn bench_mode(cli: &Cli) {
     }
     if let Some(app) = &cli.app {
         write!(tenant_flags, " --app {app}").unwrap();
+    }
+    if cli.memory_obs {
+        write!(tenant_flags, " --memory-obs").unwrap();
+    }
+    if let Some(p) = &cli.heatmap {
+        write!(tenant_flags, " --heatmap {}", p.display()).unwrap();
     }
     if let Some(n) = cli.dispatchers {
         // Record the *resolved* policy so a rerun is exact even when

@@ -368,6 +368,7 @@ pub fn burst_tolerance(scale: Scale) -> FigureReport {
             faults: None,
             telemetry: None,
             profile: None,
+            memory: None,
             tenants: None,
         };
         let r = Simulation::new(cfg, &mut wl, params).run();
@@ -429,6 +430,7 @@ pub fn scalability(scale: Scale) -> FigureReport {
             faults: None,
             telemetry: None,
             profile: None,
+            memory: None,
             tenants: None,
         };
         let r = Simulation::new(cfg, &mut wl, params).run();
@@ -577,6 +579,7 @@ pub fn faiss_nprobe(scale: Scale) -> FigureReport {
             faults: None,
             telemetry: None,
             profile: None,
+            memory: None,
             tenants: None,
         };
         let r = Simulation::new(SystemConfig::adios(), &mut wl, params).run();
@@ -696,6 +699,61 @@ pub fn networking(scale: Scale) -> FigureReport {
         ),
         a_ktcp.achieved_rps < rows[0].2.achieved_rps * 0.75,
     ));
+
+    // -- RTO ladder under loss ------------------------------------------
+    // The transport half of the stack: how fast a lost fetch is noticed.
+    // Fixed firmware ladders trade spurious retransmits (too short)
+    // against dead air (too long); the RFC 6298 adaptive timer tracks
+    // the observed RTT instead.
+    let mut s = Series::new(
+        "2 % packet loss at 0.9 MRPS: fixed-RTO ladder vs adaptive timer",
+        "  rto             p50(us)   p999(us)   retransmits",
+    );
+    let mut ladder = Vec::new();
+    for (name, rto_us, adaptive) in [
+        ("16 us fixed", 16u64, false),
+        ("64 us fixed", 64, false),
+        ("256 us fixed", 256, false),
+        ("adaptive", 16, true),
+    ] {
+        let cfg = SystemConfig {
+            fabric: fabric::FabricParams {
+                rto: SimDuration::from_micros(rto_us),
+                adaptive_rto: adaptive,
+                ..fabric::FabricParams::default()
+            },
+            ..SystemConfig::adios()
+        };
+        let r = run_faulty(
+            &cfg,
+            &mut wl,
+            900_000.0,
+            scale,
+            218,
+            faults::FaultScenario::with_loss(0.02),
+        );
+        let p = r.point();
+        let retx = r.metrics.counter("fetch_retransmits").unwrap_or(0);
+        s.rows.push(format!(
+            "  {:<14} {:>8.2} {:>10.2} {:>13}",
+            name,
+            p.p50_ns as f64 / 1e3,
+            p.p999_ns as f64 / 1e3,
+            retx,
+        ));
+        ladder.push((name, p.p999_ns, retx));
+    }
+    report.series.push(s);
+    report.expectations.push(Expectation::checked(
+        "a coarse fixed RTO inflates the loss tail; adaptive tracks RTT",
+        "RFC 6298 arms SRTT + 4·RTTVAR once the transport is warm",
+        format!(
+            "P99.9 {} (256 us fixed) vs {} (adaptive)",
+            fmt_us(ladder[2].1),
+            fmt_us(ladder[3].1)
+        ),
+        ladder[3].1 < ladder[2].1,
+    ));
     report
 }
 
@@ -722,6 +780,7 @@ fn run_faulty(
         faults: Some(scenario),
         telemetry: None,
         profile: None,
+        memory: None,
         tenants: None,
     };
     Simulation::new(cfg.clone(), wl, params).run()
@@ -997,6 +1056,7 @@ pub fn shard_scaling(scale: Scale) -> FigureReport {
             faults: None,
             telemetry: None,
             profile: None,
+            memory: None,
             tenants: None,
         };
         let r = Simulation::new(cfg, &mut wl, params).run();
@@ -1061,6 +1121,7 @@ pub fn shard_scaling(scale: Scale) -> FigureReport {
         faults,
         telemetry: None,
         profile: None,
+        memory: None,
         tenants: None,
     };
     let base = Simulation::new(crash_cfg.clone(), &mut wl, mk_params(None)).run();
@@ -1167,6 +1228,7 @@ pub fn dispatcher_scaling(scale: Scale) -> FigureReport {
                 faults: None,
                 telemetry: None,
                 profile: None,
+                memory: None,
                 tenants: None,
             };
             let r = Simulation::new(cfg, &mut wl, params).run();
@@ -1308,6 +1370,7 @@ pub fn tenant_isolation(scale: Scale) -> FigureReport {
             faults: None,
             telemetry: None,
             profile: None,
+            memory: None,
             tenants: Some(plane),
         };
         Simulation::new(SystemConfig::adios(), wl, params).run()
@@ -1396,6 +1459,7 @@ pub fn tenant_isolation(scale: Scale) -> FigureReport {
             faults: None,
             telemetry: None,
             profile: None,
+            memory: None,
             tenants: None,
         };
         Simulation::new(SystemConfig::adios(), &mut *wl, params).run()
@@ -1441,6 +1505,180 @@ pub fn tenant_isolation(scale: Scale) -> FigureReport {
     report
 }
 
+/// One observatory-enabled run (the only RunParams difference from the
+/// plain legs: `memory: Some(default)`).
+fn run_obs(
+    cfg: &SystemConfig,
+    wl: &mut dyn runtime::Workload,
+    offered_rps: f64,
+    scale: Scale,
+    seed: u64,
+) -> runtime::sim::RunResult {
+    let params = RunParams {
+        offered_rps,
+        seed,
+        warmup: scale.warmup(),
+        measure: scale.measure(),
+        local_mem_fraction: 0.2,
+        keep_breakdowns: false,
+        burst: None,
+        timeline_bucket: None,
+        trace_capacity: None,
+        spans: None,
+        faults: None,
+        telemetry: None,
+        profile: None,
+        memory: Some(runtime::sim::MemObsConfig::default()),
+        tenants: None,
+    };
+    Simulation::new(cfg.clone(), wl, params).run()
+}
+
+/// Memory-access observatory across the five applications: prefetch
+/// fates, working sets, access-shape fingerprints, and a Zipfian-skew
+/// leg where one shard's heat share dominates.
+pub fn memory_observatory(scale: Scale) -> FigureReport {
+    use apps::silo::tpcc::TpccScale;
+    use apps::{FaissWorkload, LlmServeWorkload, MemcachedWorkload, RocksDbWorkload, TpccWorkload};
+    let mut report = FigureReport::new(
+        "Extension I",
+        "Memory-access observatory: prefetch fates, page heat, working sets",
+    );
+    let mk = |prefetcher: PrefetcherKind| SystemConfig {
+        prefetcher,
+        // Keep the fate classes clean: every prefetch comes from the
+        // detector under test, none from the speculative fallback.
+        speculative_readahead: 0.0,
+        ..SystemConfig::adios()
+    };
+    let ra = mk(PrefetcherKind::Readahead { window: 8 });
+    let leap = mk(PrefetcherKind::Leap {
+        window: 6,
+        depth: 8,
+    });
+
+    // -- five apps × two detectors --------------------------------------
+    let keys = scale.memcached_keys(128).min(200_000);
+    let scan_keys = scale.rocksdb_keys().min(100_000);
+    let mut legs: Vec<(&str, &str, runtime::sim::RunResult)> = Vec::new();
+    for (det_name, cfg) in [("readahead", &ra), ("leap", &leap)] {
+        let mut kvs = MemcachedWorkload::new(keys, 128);
+        legs.push((
+            "KVS",
+            det_name,
+            run_obs(cfg, &mut kvs, 400_000.0, scale, 210),
+        ));
+        let mut scan = RocksDbWorkload::new(scan_keys, 1024);
+        legs.push((
+            "SCAN",
+            det_name,
+            run_obs(cfg, &mut scan, 150_000.0, scale, 211),
+        ));
+        let mut tpcc = TpccWorkload::new(TpccScale::tiny(), 212);
+        legs.push((
+            "TPC-C",
+            det_name,
+            run_obs(cfg, &mut tpcc, 80_000.0, scale, 212),
+        ));
+        let mut ivf = FaissWorkload::new(10_000, 32, 8, 213);
+        legs.push((
+            "IVF-Flat",
+            det_name,
+            run_obs(cfg, &mut ivf, 20_000.0, scale, 213),
+        ));
+        let mut llm = LlmServeWorkload::new(64, 64);
+        legs.push((
+            "llmserve",
+            det_name,
+            run_obs(cfg, &mut llm, 300_000.0, scale, 214),
+        ));
+    }
+
+    let mut s = Series::new(
+        "prefetch efficacy and working sets, 20 % local memory",
+        "  app        detector    issued      hit%     late%   wasted%   ws mean   distinct   top stride",
+    );
+    let mut all_hold = true;
+    for (app, det, r) in &legs {
+        let m = r.memory.as_ref().expect("observatory was on");
+        all_hold &= m.holds();
+        let t = m.totals();
+        let done = (t.hits + t.lates + t.wasted).max(1);
+        let stride = m
+            .strides
+            .first()
+            .map(|(d, _)| format!("{d:+}"))
+            .unwrap_or_else(|| "-".into());
+        s.rows.push(format!(
+            "  {:<10} {:<10} {:>7} {:>8.1}% {:>8.1}% {:>8.1}% {:>9.0} {:>10} {:>12}",
+            app,
+            det,
+            t.issued,
+            100.0 * t.hits as f64 / done as f64,
+            100.0 * t.lates as f64 / done as f64,
+            100.0 * t.wasted as f64 / done as f64,
+            m.ws_mean(),
+            m.distinct_pages,
+            stride,
+        ));
+    }
+    report.series.push(s);
+
+    report.expectations.push(Expectation::checked(
+        "prefetch-fate conservation holds in every leg",
+        "issued == hits + lates + wasted + inflight_at_end, per detector class",
+        format!("{} runs, all exact", legs.len()),
+        all_hold,
+    ));
+    let rate_of = |app: &str, det: &str| {
+        legs.iter()
+            .find(|(a, d, _)| *a == app && *d == det)
+            .map(|(_, _, r)| r.memory.as_ref().unwrap().hit_rate())
+            .unwrap_or(0.0)
+    };
+    let (scan_hr, kvs_hr) = (rate_of("SCAN", "readahead"), rate_of("KVS", "readahead"));
+    report.expectations.push(Expectation::checked(
+        "SCAN and KVS prefetch hit-rates diverge ≥2×",
+        "sequential scans reward readahead; random GETs cannot",
+        format!("hit rate {scan_hr:.3} (SCAN) vs {kvs_hr:.3} (KVS)"),
+        scan_hr >= (2.0 * kvs_hr).max(0.05),
+    ));
+
+    // -- Zipfian skew: one shard's heat share dominates ------------------
+    // Hot keys cluster at low arena addresses, so range sharding maps
+    // the heavy hitters onto shard 0 and its heat share pulls away from
+    // the fair 1/4.
+    let skew_cfg = SystemConfig {
+        memnode_shards: 4,
+        shard_policy: fabric::ShardPolicy::Range,
+        ..ra.clone()
+    };
+    let mut zipf = MemcachedWorkload::new(keys, 128).with_zipf(0.99);
+    let zr = run_obs(&skew_cfg, &mut zipf, 400_000.0, scale, 215);
+    let zm = zr.memory.as_ref().expect("observatory was on");
+    let mut s = Series::new(
+        "Zipf(0.99) keys, 4 range shards: decayed heat share per shard",
+        "  shard   heat share",
+    );
+    for (i, share) in zm.shard_shares.iter().enumerate() {
+        s.rows.push(format!("  {i:>5} {share:>12.3}"));
+    }
+    report.series.push(s);
+    let dom = zm.shard_shares.iter().cloned().fold(0.0, f64::max);
+    report.expectations.push(Expectation::checked(
+        "one shard's heat share visibly dominates under Zipf skew",
+        "fair split is 0.25/shard; Zipf(0.99) concentrates the hot set",
+        format!("max shard share {dom:.3}, skew {:.2}", zm.heat_skew),
+        dom > 0.4 && zm.holds(),
+    ));
+    report.notes.push(
+        "same seed and same config with the observatory disabled reproduces the golden \
+         byte-identical run JSON: the obs_mask bit only adds instrumentation, never behaviour"
+            .into(),
+    );
+    report
+}
+
 /// Runs all extension studies.
 pub fn run(scale: Scale) -> Vec<FigureReport> {
     vec![
@@ -1457,6 +1695,7 @@ pub fn run(scale: Scale) -> Vec<FigureReport> {
         shard_scaling(scale),
         tenant_isolation(scale),
         dispatcher_scaling(scale),
+        memory_observatory(scale),
     ]
 }
 
@@ -1540,6 +1779,12 @@ mod tests {
     #[ignore = "builds an IVF index 4 times; run with --ignored"]
     fn faiss_nprobe_shape() {
         let r = faiss_nprobe(Scale::Quick);
+        assert!(r.all_ok(), "{}", r.render());
+    }
+
+    #[test]
+    fn memory_observatory_shape() {
+        let r = memory_observatory(Scale::Quick);
         assert!(r.all_ok(), "{}", r.render());
     }
 }

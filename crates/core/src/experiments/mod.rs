@@ -53,6 +53,7 @@ pub(crate) fn sweep(
                 faults: None,
                 telemetry: None,
                 profile: None,
+                memory: None,
                 tenants: None,
             };
             Simulation::new(cfg.clone(), workload, params).run()
@@ -85,6 +86,7 @@ pub(crate) fn run_with_breakdowns(
         faults: None,
         telemetry: None,
         profile: None,
+        memory: None,
         tenants: None,
     };
     Simulation::new(cfg.clone(), workload, params).run()

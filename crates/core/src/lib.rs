@@ -33,7 +33,7 @@ pub mod scale;
 pub use faults::{FaultScenario, FaultStats};
 pub use loadgen::{TenantMix, TenantPlane, TenantPriority, TenantSpec};
 pub use report::{run_json, Expectation, FigureReport, Series};
-pub use runtime::sim::{run_one, Conservation, RunParams, RunResult, TenantWindow};
+pub use runtime::sim::{run_one, Conservation, MemObsConfig, RunParams, RunResult, TenantWindow};
 pub use runtime::{
     DispatchPolicy, FaultPolicy, PrefetcherKind, QueueModel, Simulation, SystemConfig, SystemKind,
     WorkerSelect, Workload,
@@ -50,7 +50,9 @@ pub mod prelude {
     pub use desim::{SimDuration, SimTime, SloRule, TelemetryConfig};
     pub use faults::FaultScenario;
     pub use loadgen::{LoadPoint, TenantPlane, TenantPriority, TenantSpec};
-    pub use runtime::sim::{run_one, Conservation, RunParams, RunResult, TenantWindow};
+    pub use runtime::sim::{
+        run_one, Conservation, MemObsConfig, RunParams, RunResult, TenantWindow,
+    };
     pub use runtime::{
         ArrayIndexWorkload, DispatchPolicy, FaultPolicy, PrefetcherKind, QueueModel, Simulation,
         StridedWorkload, SystemConfig, SystemKind, TenantWorkload, WorkerSelect, Workload,

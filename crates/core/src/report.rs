@@ -122,6 +122,11 @@ pub fn run_json(res: &RunResult) -> String {
     if let Some(p) = &res.profile {
         let _ = write!(out, "\"profile\":{},", p.to_json());
     }
+    // Memory-observatory block only when the observatory was on, same
+    // golden byte-identity contract as the blocks above.
+    if let Some(m) = &res.memory {
+        let _ = write!(out, "\"memory\":{},", m.to_json());
+    }
     // Always present, trace or not: a truncated (or absent) trace must
     // be distinguishable from a quiet run.
     let _ = write!(out, "\"trace_dropped\":{},", res.trace_dropped);

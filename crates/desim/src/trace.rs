@@ -464,6 +464,56 @@ pub mod shard_names {
         "shard6.qp_outstanding",
         "shard7.qp_outstanding",
     ];
+
+    /// Fraction of decayed page heat landing on the shard (memory
+    /// observatory; registered only when the observatory is enabled).
+    pub const HEAT_SHARE: [&str; MAX_SHARDS] = [
+        "shard0.heat_share",
+        "shard1.heat_share",
+        "shard2.heat_share",
+        "shard3.heat_share",
+        "shard4.heat_share",
+        "shard5.heat_share",
+        "shard6.heat_share",
+        "shard7.heat_share",
+    ];
+
+    /// Smoothed RTT estimate of the shard's NIC rail, microseconds.
+    pub const SRTT_US: [&str; MAX_SHARDS] = [
+        "shard0.srtt_us",
+        "shard1.srtt_us",
+        "shard2.srtt_us",
+        "shard3.srtt_us",
+        "shard4.srtt_us",
+        "shard5.srtt_us",
+        "shard6.srtt_us",
+        "shard7.srtt_us",
+    ];
+
+    /// RTT variance estimate of the shard's NIC rail, microseconds.
+    pub const RTTVAR_US: [&str; MAX_SHARDS] = [
+        "shard0.rttvar_us",
+        "shard1.rttvar_us",
+        "shard2.rttvar_us",
+        "shard3.rttvar_us",
+        "shard4.rttvar_us",
+        "shard5.rttvar_us",
+        "shard6.rttvar_us",
+        "shard7.rttvar_us",
+    ];
+
+    /// Base (un-backed-off) retransmission timeout the shard's rail
+    /// would arm next, microseconds.
+    pub const RTO_US: [&str; MAX_SHARDS] = [
+        "shard0.rto_us",
+        "shard1.rto_us",
+        "shard2.rto_us",
+        "shard3.rto_us",
+        "shard4.rto_us",
+        "shard5.rto_us",
+        "shard6.rto_us",
+        "shard7.rto_us",
+    ];
 }
 
 /// Static per-tenant counter names. Same rationale as [`shard_names`]:

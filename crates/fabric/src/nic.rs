@@ -264,6 +264,18 @@ impl RdmaNic {
         (self.rtt_samples > 0).then(|| SimDuration::from_nanos(self.srtt_ns.round() as u64))
     }
 
+    /// RTT variance estimate, if the adaptive timer has one.
+    pub fn rttvar(&self) -> Option<SimDuration> {
+        (self.rtt_samples > 0).then(|| SimDuration::from_nanos(self.rttvar_ns.round() as u64))
+    }
+
+    /// The base (attempt-0, un-backed-off) RTO the NIC would arm for
+    /// the next send: the RFC 6298 estimate once the adaptive timer is
+    /// warm, the fixed firmware ladder value otherwise.
+    pub fn current_rto(&self) -> SimDuration {
+        self.rto_backoff(0)
+    }
+
     /// Extra one-way cost a degraded link adds on top of a FIFO
     /// transmit: the slowed-down share of serialization plus added
     /// latency. Zero (exactly) on a healthy link.

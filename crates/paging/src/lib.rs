@@ -17,9 +17,13 @@
 //! - [`PagedArena`] — a real byte arena with page-touch recording, the
 //!   substrate all four applications build their data structures on.
 //! - [`prefetch::SeqDetector`] — sequential readahead detection.
+//! - [`observe`] — the memory-access observatory: prefetch-fate
+//!   attribution, decayed page-heat/working-set tracking and
+//!   deterministic heatmap/fingerprint exports.
 
 pub mod arena;
 pub mod cache;
+pub mod observe;
 pub mod prefetch;
 pub mod reclaim;
 pub mod trace;

@@ -38,6 +38,8 @@ use loadgen::{
     Breakdown, BurstyLoop, IngressFanIn, LoadPoint, OpenLoop, Recorder, TenantMix, TenantPlane,
     TenantPriority, TenantSpec,
 };
+pub use paging::observe::MemObsConfig;
+use paging::observe::{MemObservatory, MemReport, PrefetchClass};
 use paging::prefetch::{LeapDetector, SeqDetector};
 use paging::reclaim::ReclaimerMode;
 use paging::trace::Trace;
@@ -114,6 +116,15 @@ pub struct RunParams {
     /// When the plane is set, [`RunParams::burst`] is ignored — burst
     /// shapes are per-tenant ([`TenantSpec::burst`]).
     pub tenants: Option<TenantPlane>,
+    /// Memory-access observatory (None = off, the zero-cost default:
+    /// nothing registers and no hook fires, so disabled runs replay
+    /// byte-identically to runs predating the observatory). When set,
+    /// a [`paging::observe::MemObservatory`] attributes every
+    /// prefetched page's fate (hit / late / wasted, with an exact
+    /// conservation identity), tracks decayed page heat, per-window
+    /// working-set size and per-shard heat shares, and the frozen
+    /// report lands in [`RunResult::memory`].
+    pub memory: Option<MemObsConfig>,
 }
 
 impl Default for RunParams {
@@ -133,6 +144,7 @@ impl Default for RunParams {
             telemetry: None,
             profile: None,
             tenants: None,
+            memory: None,
         }
     }
 }
@@ -562,6 +574,12 @@ pub struct RunResult {
     /// the flamegraph/Perfetto exporters (present when
     /// [`RunParams::profile`] was set).
     pub profile: Option<ProfileReport>,
+    /// Memory-access observatory report: prefetch-fate attribution with
+    /// the exact conservation identity, decayed page-heat top-K,
+    /// per-window working-set sizes, heatmap matrix, stride
+    /// fingerprint and shard heat shares (present when
+    /// [`RunParams::memory`] was set).
+    pub memory: Option<MemReport>,
     /// Every dispatcher-core charge in commit order, for the
     /// differential oracle (test builds only).
     #[cfg(test)]
@@ -685,6 +703,13 @@ struct TelemBridge {
     /// configured rate × the tick period) — the capacity term of the
     /// tenant's health score.
     tenant_per_tick: Vec<f64>,
+    /// Adaptive-RTO transport gauges per shard rail, sampled each tick
+    /// just before the recorder: `(srtt_us, rttvar_us, rto_us)`.
+    /// Registered as `nic.*` on single-shard runs and `shardN.*`
+    /// otherwise; zero until the estimator has its first RTT sample
+    /// (the effective RTO gauge always carries the armed value, fixed
+    /// ladder included).
+    rto_ids: Vec<(GaugeId, GaugeId, GaugeId)>,
 }
 
 /// Per-request prefetch-pattern detector.
@@ -740,6 +765,9 @@ struct Req {
     /// on). All latency attribution derives from it.
     spans: Option<SpanBuilder>,
     detector: Detector,
+    /// Previous page this request touched (observatory stride
+    /// fingerprint; maintained only when the observatory is on).
+    obs_last_page: Option<u64>,
 }
 
 struct Worker {
@@ -821,6 +849,10 @@ mod obs {
     ///
     /// [`RunParams::profile`]: super::RunParams::profile
     pub const PROFILE: u8 = 1 << 2;
+    /// The memory-access observatory ([`RunParams::memory`]).
+    ///
+    /// [`RunParams::memory`]: super::RunParams::memory
+    pub const MEMORY: u8 = 1 << 3;
 }
 
 /// The core profiler's runtime state: the per-core tiler, park
@@ -942,6 +974,13 @@ pub struct Simulation<'w> {
     #[cfg(test)]
     dispatcher_log: Vec<DispatchCharge>,
     inflight: FxHashMap<u64, Inflight>,
+    /// Superseded fetch records: a fetch whose completion was consumed
+    /// early can see its page evicted and re-faulted while its
+    /// `FetchDone` event is still queued. The re-fault moves the old
+    /// record here (keyed by page + completion time) so the stale event
+    /// still frees the right QP slot and wakes its own waiters instead
+    /// of stealing the live entry's.
+    orphan_fetches: Vec<(u64, Inflight)>,
     /// Per-shard dirty pages whose write-back is waiting for that
     /// shard's reclaimer-QP slot.
     deferred_writebacks: Vec<VecDeque<u64>>,
@@ -977,6 +1016,30 @@ pub struct Simulation<'w> {
     /// snapshot is time-weighted and therefore *is* the busy fraction;
     /// per-tick telemetry series sample the instantaneous 0/1 level).
     dispatcher_busy_gauge: Option<GaugeId>,
+    /// Memory-access observatory (None = off; see
+    /// [`RunParams::memory`]).
+    memobs: Option<MemObsPlane>,
+}
+
+/// The memory observatory's runtime state: the bounded-memory
+/// attribution/heat core plus the registry handles its window
+/// rollovers publish into (all registered only when the observatory is
+/// on, so disabled runs keep the golden serialisation schema).
+struct MemObsPlane {
+    obs: MemObservatory,
+    /// Distinct pages touched in the last closed window.
+    ws_pages: GaugeId,
+    /// `max/mean` shard heat share.
+    heat_skew: GaugeId,
+    /// Cumulative strict prefetch hit-rate.
+    hit_rate: GaugeId,
+    /// Rows/records dropped by bounded-memory caps (mirrors the
+    /// `trace_dropped` convention: explicit, never silent).
+    obs_dropped: CounterId,
+    /// `shardN.heat_share` gauges (empty on single-shard runs).
+    heat_share: Vec<GaugeId>,
+    /// `obs_dropped` value already mirrored into the registry counter.
+    dropped_synced: u64,
 }
 
 impl<'w> Simulation<'w> {
@@ -1173,6 +1236,51 @@ impl<'w> Simulation<'w> {
             None => FaultPlane::inert(),
         };
 
+        use desim::trace::shard_names as sn;
+        // Memory-access observatory: registers its gauges/counter only
+        // when enabled (and before the flight recorder, so telemetry
+        // ticks sample them). Disabled runs register nothing and stay
+        // byte-identical to the golden capture.
+        let memobs = params.memory.take().map(|mc| MemObsPlane {
+            obs: MemObservatory::new(mc, total_pages, shards),
+            ws_pages: metrics.gauge("memory.ws_pages"),
+            heat_skew: metrics.gauge("memory.heat_skew"),
+            hit_rate: metrics.gauge("memory.prefetch_hit_rate"),
+            obs_dropped: metrics.counter("memory.obs_dropped"),
+            heat_share: if shards > 1 {
+                (0..shards)
+                    .map(|s| metrics.gauge(sn::HEAT_SHARE[s]))
+                    .collect()
+            } else {
+                Vec::new()
+            },
+            dropped_synced: 0,
+        });
+
+        // Adaptive-RTO transport gauges: telemetry-gated (they exist to
+        // be sampled by the flight recorder) and registered before it.
+        let rto_ids: Vec<(GaugeId, GaugeId, GaugeId)> = if params.telemetry.is_some() {
+            if shards == 1 {
+                vec![(
+                    metrics.gauge("nic.srtt_us"),
+                    metrics.gauge("nic.rttvar_us"),
+                    metrics.gauge("nic.rto_us"),
+                )]
+            } else {
+                (0..shards)
+                    .map(|s| {
+                        (
+                            metrics.gauge(sn::SRTT_US[s]),
+                            metrics.gauge(sn::RTTVAR_US[s]),
+                            metrics.gauge(sn::RTO_US[s]),
+                        )
+                    })
+                    .collect()
+            }
+        } else {
+            Vec::new()
+        };
+
         // The flight recorder samples the instrument set as registered
         // above (ids + per-shard ids), so it must be built after them.
         // Health entities: one per worker QP, then one per shard rail.
@@ -1208,6 +1316,7 @@ impl<'w> Simulation<'w> {
                 shard_prev: vec![FetchTally::default(); shards],
                 tenant_tally: vec![FetchTally::default(); tenants],
                 tenant_prev: vec![FetchTally::default(); tenants],
+                rto_ids,
             }
         });
 
@@ -1228,7 +1337,8 @@ impl<'w> Simulation<'w> {
             .map(SpanStore::new);
         let obs_mask = (if tracer.enabled() { obs::TRACE } else { 0 })
             | (if span_store.is_some() { obs::SPANS } else { 0 })
-            | (if prof.is_some() { obs::PROFILE } else { 0 });
+            | (if prof.is_some() { obs::PROFILE } else { 0 })
+            | (if memobs.is_some() { obs::MEMORY } else { 0 });
 
         Simulation {
             events: EventQueue::new(),
@@ -1287,6 +1397,7 @@ impl<'w> Simulation<'w> {
             #[cfg(test)]
             dispatcher_log: Vec::new(),
             inflight: FxHashMap::default(),
+            orphan_fetches: Vec::new(),
             deferred_writebacks: vec![VecDeque::new(); shards],
             reclaim_state: ReclaimState::Idle,
             gen_end: measure_end,
@@ -1311,6 +1422,7 @@ impl<'w> Simulation<'w> {
             telem,
             prof,
             dispatcher_busy_gauge,
+            memobs,
             workload,
             cfg,
             params,
@@ -1513,6 +1625,18 @@ impl<'w> Simulation<'w> {
             "request conservation violated: {:?}",
             self.cons
         );
+        // Observatory run-end sweep: remaining prefetch records resolve
+        // to wasted (arrived, never consumed) or inflight_at_end, and
+        // the fate identity must then hold exactly per detector class.
+        let memory = self.memobs.take().map(|mo| {
+            let rep = mo.obs.finish(self.last_now.as_nanos());
+            debug_assert!(
+                rep.holds(),
+                "prefetch-fate conservation violated: {:?}",
+                rep.classes
+            );
+            rep
+        });
         let tenants = match self.tenplane.take() {
             None => Vec::new(),
             Some(tp) => tp
@@ -1554,6 +1678,7 @@ impl<'w> Simulation<'w> {
             conservation: self.cons,
             telemetry,
             profile,
+            memory,
             #[cfg(test)]
             dispatcher_log: std::mem::take(&mut self.dispatcher_log),
         }
@@ -1872,6 +1997,7 @@ impl<'w> Simulation<'w> {
             started: false,
             spans,
             detector: Detector::new(self.cfg.prefetcher),
+            obs_last_page: None,
         };
         if let Some(slot) = self.free_reqs.pop() {
             self.reqs[slot] = Some(req);
@@ -2001,6 +2127,20 @@ impl<'w> Simulation<'w> {
                 degraded_queue: 0.0,
             });
         }
+        // Adaptive-RTO visibility: sample each shard rail's RFC 6298
+        // state into its gauges before the recorder snapshots them.
+        // Zero until the timer is warm (no RTT samples yet); the RTO
+        // gauge always carries the armed base value, so fixed-ladder
+        // runs show a flat line at `params.rto`.
+        for (s, &(srtt_id, rttvar_id, rto_id)) in b.rto_ids.iter().enumerate() {
+            let nic = &self.nics[s];
+            let srtt = nic.srtt().map_or(0.0, |d| d.as_nanos() as f64 / 1_000.0);
+            let rttvar = nic.rttvar().map_or(0.0, |d| d.as_nanos() as f64 / 1_000.0);
+            let rto = nic.current_rto().as_nanos() as f64 / 1_000.0;
+            self.metrics.gauge_set(srtt_id, now, srtt);
+            self.metrics.gauge_set(rttvar_id, now, rttvar);
+            self.metrics.gauge_set(rto_id, now, rto);
+        }
         b.rec.tick(now, &self.metrics, &health, &mut *self.tracer);
         let next = now + b.rec.tick_period();
         if next <= self.measure_end {
@@ -2024,6 +2164,107 @@ impl<'w> Simulation<'w> {
             t.fetches += 1;
             t.retransmits += retransmits;
             t.errors += u64::from(error);
+        }
+    }
+
+    // ----- memory-access observatory hooks -------------------------------
+    //
+    // All hooks are one integer test when the observatory is off
+    // (mirroring [`Simulation::trace`]); none schedules events or draws
+    // from the shared RNG, so enabling the observatory never perturbs a
+    // run — equal-seed runs replay byte-identically with it on or off.
+
+    /// Books a completed demand access at `t`: heat sketch, working
+    /// set, heatmap, shard touch and stride fingerprint — and, when
+    /// `classify`, resolves a tracked prefetch of `page` as a *hit*
+    /// (the line was already resident when demand reached it). Window
+    /// rollovers publish fresh gauge values into the registry.
+    fn mobs_touch(&mut self, req: usize, page: u64, t: SimTime, classify: bool) {
+        if self.obs_mask & obs::MEMORY == 0 {
+            return;
+        }
+        let delta = {
+            let r = self.req(req);
+            let last = r.obs_last_page;
+            r.obs_last_page = Some(page);
+            last.map(|p| page as i64 - p as i64)
+        };
+        let shard = self.shard_map.shard_of(page);
+        let Some(mo) = &mut self.memobs else { return };
+        if classify {
+            mo.obs.classify_hit(page);
+        }
+        if mo.obs.on_touch(page, shard, t.as_nanos(), delta) {
+            self.metrics
+                .gauge_set(mo.ws_pages, t, mo.obs.ws_last() as f64);
+            self.metrics.gauge_set(mo.heat_skew, t, mo.obs.heat_skew());
+            self.metrics.gauge_set(mo.hit_rate, t, mo.obs.hit_rate());
+            for (s, g) in mo.heat_share.iter().enumerate() {
+                self.metrics.gauge_set(*g, t, mo.obs.shard_share(s));
+            }
+            let dropped = mo.obs.dropped();
+            self.metrics
+                .add(mo.obs_dropped, dropped - mo.dropped_synced);
+            mo.dropped_synced = dropped;
+        }
+    }
+
+    /// Resolves a demand access that coalesced onto an in-flight line
+    /// at `t` against a tracked prefetch of `page`: a line that arrived
+    /// before use is a *hit*, a still-flying healthy line is *late*
+    /// (the head start since issue is credited as saved latency), and a
+    /// failed line is left for the completion path to classify wasted.
+    #[inline]
+    fn mobs_coalesce(&mut self, page: u64, t: SimTime) {
+        if self.obs_mask & obs::MEMORY == 0 {
+            return;
+        }
+        let Some(info) = self.inflight.get(&page) else {
+            return;
+        };
+        let (done_at, failed) = (info.done_at, info.failed);
+        if let Some(mo) = &mut self.memobs {
+            if done_at <= t {
+                mo.obs.classify_hit(page);
+            } else if !failed {
+                mo.obs.classify_late(page, t.as_nanos());
+            }
+        }
+    }
+
+    /// Books a prefetch issuance for fate attribution.
+    #[inline]
+    fn mobs_prefetch_issued(&mut self, page: u64, class: PrefetchClass, t: SimTime) {
+        if self.obs_mask & obs::MEMORY == 0 {
+            return;
+        }
+        if let Some(mo) = &mut self.memobs {
+            mo.obs.on_prefetch_issued(page, class, t.as_nanos());
+        }
+    }
+
+    /// Marks a tracked prefetch's line as arrived (its fetch
+    /// completed successfully).
+    #[inline]
+    fn mobs_arrived(&mut self, page: u64) {
+        if self.obs_mask & obs::MEMORY == 0 {
+            return;
+        }
+        if let Some(mo) = &mut self.memobs {
+            mo.obs.on_prefetch_arrived(page);
+        }
+    }
+
+    /// `page` left the cache (eviction, reservation cancel) or its
+    /// fetch failed terminally: a tracked never-consumed prefetch of it
+    /// is *wasted*.
+    #[inline]
+    fn mobs_wasted(&mut self, page: u64) {
+        if self.obs_mask & obs::MEMORY == 0 {
+            return;
+        }
+        if let Some(mo) = &mut self.memobs {
+            mo.obs.classify_wasted(page);
         }
     }
 
@@ -2692,18 +2933,29 @@ impl<'w> Simulation<'w> {
             if let Some(access) = step.access {
                 match self.cache.lookup(access.page) {
                     PageState::Resident => {
+                        // Every access eventually lands here (resume and
+                        // after-spin wakes re-run the faulting step), so
+                        // this is the single completed-access book-keeping
+                        // point: a tracked prefetch resolved by this touch
+                        // is a hit.
+                        self.mobs_touch(req, access.page, t, true);
                         self.cache.touch(access.page, access.write);
                         self.req(req).step += 1;
                     }
                     PageState::InFlight => {
                         self.metrics.inc(self.ids.coalesced);
                         self.trace(t, "fault", "coalesce", req as u64, access.page);
+                        // Demand raced an in-flight prefetch: arrived
+                        // lines classify hit, still-flying ones late.
+                        self.mobs_coalesce(access.page, t);
                         self.cache.note_coalesced();
                         if !self.wait_on_inflight(w, req, access.page, t) {
                             return;
                         }
                         // Fetch had already completed by `t`: continue as
-                        // a hit.
+                        // a hit (the prefetch fate was classified above,
+                        // so this books the access only).
+                        self.mobs_touch(req, access.page, t, false);
                         self.cache.touch(access.page, access.write);
                         self.req(req).step += 1;
                     }
@@ -2859,6 +3111,7 @@ impl<'w> Simulation<'w> {
                 Some((victim, dirty)) => {
                     self.metrics.inc(self.ids.direct_reclaims);
                     self.trace(t, "reclaim", "direct", victim, dirty as u64);
+                    self.mobs_wasted(victim);
                     if dirty {
                         self.writeback(t, victim);
                     }
@@ -2914,6 +3167,9 @@ impl<'w> Simulation<'w> {
                 self.cache.complete_fetch(page);
                 let evicted = self.cache.evict_one();
                 debug_assert!(evicted.is_some());
+                if let Some((victim, _)) = evicted {
+                    self.mobs_wasted(victim);
+                }
                 self.workers[w].blocked = Some((req, t));
                 // The QP_STALL phase is emitted when a CQE frees a slot
                 // (see on_fetch_done); flush the handler work now. The
@@ -2932,7 +3188,7 @@ impl<'w> Simulation<'w> {
         self.metrics
             .gauge_set(self.ids.qp_outstanding, t, outstanding as f64);
         self.note_shard_outstanding(shard, t);
-        self.inflight.insert(
+        if let Some(old) = self.inflight.insert(
             page,
             Inflight {
                 done_at: outcome.done_at,
@@ -2941,7 +3197,12 @@ impl<'w> Simulation<'w> {
                 waiters: Vec::new(),
                 completed_early: false,
             },
-        );
+        ) {
+            // The page was early-consumed, evicted and is now being
+            // re-fetched before the old completion surfaced.
+            debug_assert!(old.completed_early, "live fetch overwritten");
+            self.orphan_fetches.push((page, old));
+        }
         self.events
             .push(outcome.done_at, Ev::FetchDone { worker: w, page });
 
@@ -3169,9 +3430,22 @@ impl<'w> Simulation<'w> {
         let (mut stride, mut n) = self.req(req).detector.on_fault(page);
         let spec = self.cfg.speculative_readahead > 0.0
             && self.rng.gen_bool(self.cfg.speculative_readahead.min(1.0));
+        let mut speculative = false;
         if n == 0 && spec {
             (stride, n) = (1, 1);
+            speculative = true;
         }
+        // Fate-attribution class: the configured detector, or the
+        // speculative next-page fallback when the detector had no
+        // pattern (observatory runs only; the hook self-gates).
+        let class = if speculative {
+            PrefetchClass::Speculative
+        } else {
+            match self.req(req).detector {
+                Detector::Leap(_) => PrefetchClass::Leap,
+                _ => PrefetchClass::Readahead,
+            }
+        };
         let qp = self.workers[w].qp;
         for i in 1..=n as i64 {
             let signed = page as i64 + stride * i;
@@ -3191,6 +3465,7 @@ impl<'w> Simulation<'w> {
                 Ok(c) => {
                     self.q_sq_post(ps, t, c.slot_residence(t));
                     self.metrics.inc(self.ids.prefetches);
+                    self.mobs_prefetch_issued(p, class, t);
                     self.shard_inc(ps, |s| s.fetches);
                     self.telem_fetch(ps, qp, c.retransmits as u64, c.is_error());
                     self.trace(t, "fault", "prefetch", page, p);
@@ -3201,7 +3476,7 @@ impl<'w> Simulation<'w> {
                         // simply re-faults.
                         self.metrics.inc(self.ids.prefetch_errors);
                     }
-                    self.inflight.insert(
+                    if let Some(old) = self.inflight.insert(
                         p,
                         Inflight {
                             done_at: c.done_at,
@@ -3210,7 +3485,13 @@ impl<'w> Simulation<'w> {
                             waiters: Vec::new(),
                             completed_early: false,
                         },
-                    );
+                    ) {
+                        // Same supersede case as the demand path: the
+                        // old fetch was early-consumed and its page
+                        // already evicted again.
+                        debug_assert!(old.completed_early, "live fetch overwritten");
+                        self.orphan_fetches.push((p, old));
+                    }
                     self.events
                         .push(c.done_at, Ev::FetchDone { worker: w, page: p });
                 }
@@ -3220,6 +3501,9 @@ impl<'w> Simulation<'w> {
                     self.cache.complete_fetch(p);
                     let evicted = self.cache.evict_one();
                     debug_assert!(evicted.is_some());
+                    if let Some((victim, _)) = evicted {
+                        self.mobs_wasted(victim);
+                    }
                     break;
                 }
             }
@@ -3228,7 +3512,23 @@ impl<'w> Simulation<'w> {
     }
 
     fn on_fetch_done(&mut self, now: SimTime, w: usize, page: u64) {
-        let info = self.inflight.remove(&page);
+        // Match the event to its fetch record: the live entry when its
+        // completion time is `now`, else the superseded record a
+        // re-fetch parked aside (see `orphan_fetches`). An orphan only
+        // frees its QP slot and wakes its own waiters — the cache and
+        // observatory state belong to the live fetch.
+        let mut orphan = false;
+        let info = match self.inflight.get(&page) {
+            Some(i) if i.done_at == now => self.inflight.remove(&page),
+            _ => {
+                orphan = true;
+                self.orphan_fetches
+                    .iter()
+                    .position(|(p, o)| *p == page && o.done_at == now)
+                    .map(|i| self.orphan_fetches.remove(i).1)
+            }
+        };
+        debug_assert!(info.is_some(), "completion without a fetch record");
         // The CQE lands on the QP that carried the terminal attempt (the
         // failover QP when the chain migrated); prefetch entries and
         // pre-fault paths fall back to the worker's QP.
@@ -3248,9 +3548,17 @@ impl<'w> Simulation<'w> {
                 // parked waiter (busy-waiters abort via their own
                 // scheduled wake).
                 debug_assert!(!info.completed_early, "failed fetch consumed early");
+                debug_assert!(!orphan, "orphaned fetches are always early-consumed");
                 self.cache.complete_fetch(page);
+                // A tracked prefetch that fails terminally is wasted;
+                // the eviction victim (any page — the cancel idiom may
+                // reclaim a different frame) is handled uniformly.
+                self.mobs_wasted(page);
                 let evicted = self.cache.evict_one();
                 debug_assert!(evicted.is_some());
+                if let Some((victim, _)) = evicted {
+                    self.mobs_wasted(victim);
+                }
                 self.trace(now, "fault", "fetch_failed", w as u64, page);
                 for waiter in info.waiters {
                     let (tenant, tx, home) = {
@@ -3270,6 +3578,12 @@ impl<'w> Simulation<'w> {
             } else {
                 if !info.completed_early {
                     self.cache.complete_fetch(page);
+                }
+                if !orphan {
+                    // An orphan's own prefetch record was consumed when
+                    // it was classified; the page's current record (if
+                    // any) belongs to the live fetch still in flight.
+                    self.mobs_arrived(page);
                 }
                 for waiter in info.waiters {
                     self.req(waiter).fetch_done_at = now;
@@ -3543,6 +3857,7 @@ impl<'w> Simulation<'w> {
             }
             match self.cache.evict_one() {
                 Some((page, dirty)) => {
+                    self.mobs_wasted(page);
                     if dirty {
                         self.writeback(now, page);
                     }
@@ -3680,6 +3995,7 @@ mod tests {
             faults: None,
             telemetry: None,
             profile: None,
+            memory: None,
             tenants: None,
         }
     }

@@ -34,6 +34,7 @@ fn main() {
                 faults: None,
                 telemetry: None,
                 profile: None,
+                memory: None,
                 tenants: None,
             },
         );

@@ -24,6 +24,7 @@ fn main() {
         faults: None,
         telemetry: None,
         profile: None,
+        memory: None,
         tenants: None,
     };
     let mut w = ArrayIndexWorkload::new(16_384);

@@ -35,6 +35,7 @@ fn main() {
                     faults: None,
                     telemetry: None,
                     profile: None,
+                    memory: None,
                     tenants: None,
                 },
             );
@@ -83,6 +84,7 @@ fn main() {
                     faults: None,
                     telemetry: None,
                     profile: None,
+                    memory: None,
                     tenants: None,
                 },
             );

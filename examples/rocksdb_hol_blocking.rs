@@ -41,6 +41,7 @@ fn main() {
                 faults: None,
                 telemetry: None,
                 profile: None,
+                memory: None,
                 tenants: None,
             },
         );

@@ -43,6 +43,7 @@ fn main() {
                     faults: None,
                     telemetry: None,
                     profile: None,
+                    memory: None,
                     tenants: None,
                 },
             );

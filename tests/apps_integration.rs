@@ -19,6 +19,7 @@ fn params(rps: f64, measure_ms: u64) -> RunParams {
         faults: None,
         telemetry: None,
         profile: None,
+        memory: None,
         tenants: None,
     }
 }

@@ -20,6 +20,7 @@ fn params(seed: u64) -> RunParams {
         faults: None,
         telemetry: None,
         profile: None,
+        memory: None,
         tenants: None,
     }
 }
@@ -514,4 +515,51 @@ fn multi_dispatcher_runs_bitwise_reproducible() {
     assert_ne!(jsons[0], jsons[1], "stealing must not collide with FCFS");
     assert_ne!(jsons[0], jsons[2], "combining must not collide with FCFS");
     assert_ne!(jsons[1], jsons[2], "stealing and combining must differ");
+}
+
+#[test]
+fn memory_observatory_bitwise_reproducible() {
+    // The memory observatory inherits the simulation's determinism:
+    // equal seeds must serialise byte-identical `"memory"` run-JSON
+    // blocks, heatmap CSVs and Perfetto counter tracks — and
+    // observatory-off runs must carry no memory block at all (the
+    // golden byte-stream tests above pin that path bit for bit).
+    let mut p = params(5);
+    p.memory = Some(MemObsConfig::default());
+    let mut w1 = ArrayIndexWorkload::new(16_384);
+    let mut w2 = ArrayIndexWorkload::new(16_384);
+    let a = run_one(SystemConfig::adios(), &mut w1, p.clone());
+    let b = run_one(SystemConfig::adios(), &mut w2, p.clone());
+    let (ma, mb) = (a.memory.as_ref().unwrap(), b.memory.as_ref().unwrap());
+    assert!(ma.holds(), "fate conservation must hold");
+    assert!(ma.touches > 0, "the run must book demand accesses");
+    assert_eq!(ma.to_json(), mb.to_json(), "memory JSON must match");
+    assert_eq!(ma.heatmap_csv(), mb.heatmap_csv());
+    assert_eq!(ma.fingerprint_csv(), mb.fingerprint_csv());
+    assert_eq!(
+        ma.perfetto_counter_events(3_000_000),
+        mb.perfetto_counter_events(3_000_000)
+    );
+    let ja = adios::core_api::run_json(&a);
+    assert!(
+        ja.contains("\"memory\":{\"window_ns\":"),
+        "run JSON must embed the memory block"
+    );
+    assert_eq!(ja, adios::core_api::run_json(&b));
+
+    // Observatory-off runs say nothing about memory.
+    let mut w3 = ArrayIndexWorkload::new(16_384);
+    let off = run_one(SystemConfig::adios(), &mut w3, params(5));
+    assert!(off.memory.is_none());
+    assert!(
+        !adios::core_api::run_json(&off).contains("\"memory\""),
+        "disabled observatory must leave the run JSON untouched"
+    );
+
+    // A different seed must not collide.
+    let mut w4 = ArrayIndexWorkload::new(16_384);
+    let mut p2 = p.clone();
+    p2.seed = 6;
+    let c = run_one(SystemConfig::adios(), &mut w4, p2);
+    assert_ne!(ma.to_json(), c.memory.as_ref().unwrap().to_json());
 }

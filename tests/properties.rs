@@ -1098,3 +1098,65 @@ fn combining_never_reorders_same_class_requests() {
         );
     }
 }
+
+/// The prefetch-fate conservation identity — `issued = hits + lates +
+/// wasted + inflight_at_end`, per detector class and in total — holds
+/// for every application workload under both detectors, and the
+/// derived series stay within their domains.
+#[test]
+fn memory_observatory_fates_conserve_across_apps_and_detectors() {
+    use adios::apps::silo::tpcc::TpccScale;
+    let detectors = [
+        PrefetcherKind::Readahead { window: 8 },
+        PrefetcherKind::Leap {
+            window: 6,
+            depth: 8,
+        },
+    ];
+    for (d, &prefetcher) in detectors.iter().enumerate() {
+        let mk_wl = |app: usize, seed: u64| -> Box<dyn Workload> {
+            match app {
+                0 => Box::new(MemcachedWorkload::new(60_000, 128)),
+                1 => Box::new(RocksDbWorkload::new(60_000, 1024)),
+                2 => Box::new(TpccWorkload::new(TpccScale::tiny(), seed)),
+                3 => Box::new(FaissWorkload::new(10_000, 32, 8, seed)),
+                _ => Box::new(LlmServeWorkload::new(64, 64)),
+            }
+        };
+        for app in 0..5 {
+            let seed = 300 + (d * 5 + app) as u64;
+            let mut wl = mk_wl(app, seed);
+            let cfg = SystemConfig {
+                prefetcher,
+                ..SystemConfig::adios()
+            };
+            let r = run_one(
+                cfg,
+                &mut *wl,
+                RunParams {
+                    offered_rps: 120_000.0,
+                    seed,
+                    warmup: SimDuration::from_millis(1),
+                    measure: SimDuration::from_millis(4),
+                    memory: Some(MemObsConfig::default()),
+                    ..Default::default()
+                },
+            );
+            let m = r.memory.as_ref().expect("observatory enabled");
+            let ctx = format!("detector={d} app={app} seed={seed}");
+            assert!(m.holds(), "{ctx}: conservation violated: {:?}", m.classes);
+            assert!((0.0..=1.0).contains(&m.hit_rate()), "{ctx}");
+            assert!(m.heat_skew >= 0.0, "{ctx}");
+            let share: f64 = m.shard_shares.iter().sum();
+            assert!(
+                m.touches == 0 || (share - 1.0).abs() < 1e-6,
+                "{ctx}: shard shares must partition the heat ({share})"
+            );
+            for row in &m.rows {
+                assert!((0.0..=1.0).contains(&row.hit_rate), "{ctx}");
+                let in_buckets: u64 = row.buckets.iter().sum();
+                assert!(in_buckets >= row.ws_pages, "{ctx}: bucket counts cover WS");
+            }
+        }
+    }
+}
